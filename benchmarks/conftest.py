@@ -1,0 +1,68 @@
+"""Shared fixtures for the table/figure benchmark harness.
+
+Each benchmark file regenerates one table or figure of the paper: the
+(workload x configuration) sweep behind it runs through a shared
+:class:`ExperimentRunner` whose disk cache lives in ``results/bench`` —
+so the full sweep is computed once per source revision and shared by all
+benchmarks — and the rendered table is written to ``benchmarks/output/``
+and echoed to stdout (visible with ``pytest -s``).
+
+The timed portion of each benchmark is a representative simulation
+kernel for that experiment (a short run of one workload in the
+experiment's headline configuration), so ``--benchmark-only`` also
+reports how expensive each experiment's simulations are.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+from repro.experiments.runner import ExperimentRunner  # noqa: E402
+from repro.uarch.core import OutOfOrderCore  # noqa: E402
+from repro.workloads import get_workload  # noqa: E402
+
+BENCH_INSTRUCTIONS = 4_000
+BENCH_MAX_CYCLES = 150_000
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner(
+        max_instructions=BENCH_INSTRUCTIONS,
+        max_cycles=BENCH_MAX_CYCLES,
+        cache_dir=REPO_ROOT / "results" / "bench",
+        quiet=True,
+    )
+
+
+@pytest.fixture(scope="session")
+def emit():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(report, name):
+        text = report.render() if hasattr(report, "render") else str(report)
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _emit
+
+
+@pytest.fixture
+def sim_kernel():
+    """A timed kernel: simulate `instructions` of `workload` in `config`."""
+
+    def _kernel(workload, config, instructions=1_000):
+        spec = get_workload(workload)
+        core = OutOfOrderCore(config, spec.program())
+        core.skip(spec.skip_instructions)
+        stats = core.run(max_instructions=instructions,
+                         max_cycles=BENCH_MAX_CYCLES)
+        assert stats.committed > 0
+        return stats
+
+    return _kernel

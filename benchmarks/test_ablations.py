@@ -1,0 +1,18 @@
+"""Ablations: hybrid VP+IR, structure capacity, instances per instruction.
+
+Extensions beyond the paper's own tables: the hybrid machine its
+conclusion motivates, plus sensitivity sweeps over the two structure
+parameters Section 4.1.3 fixes (total storage and 4-way instancing).
+"""
+
+from repro.experiments import ablations
+from repro.uarch.config import hybrid_config
+
+
+def test_ablations(benchmark, runner, emit, sim_kernel):
+    for report, name in zip(ablations.run(runner),
+                            ("ablation_hybrid", "ablation_storage",
+                             "ablation_instances")):
+        emit(report, name)
+    benchmark.pedantic(lambda: sim_kernel("m88ksim", hybrid_config()),
+                       rounds=2, iterations=1)

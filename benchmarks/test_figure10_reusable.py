@@ -1,0 +1,15 @@
+"""Figure 10: fraction of program redundancy capturable by operand-based reuse.
+
+Regenerates the rows of the paper's Figure 10; the timed kernel is the
+functional-simulation limit study over one workload window.
+"""
+
+from repro.experiments import figure10
+
+
+def test_figure10_reusable(benchmark, runner, emit):
+    report = figure10.run(runner)
+    emit(report, "figure10_reusable")
+    benchmark.pedantic(
+        lambda: runner.run_redundancy("m88ksim", warmup=2_000, window=5_000),
+        rounds=2, iterations=1)

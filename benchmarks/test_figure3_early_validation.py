@@ -1,0 +1,22 @@
+"""Figure 3: speedup from early vs late validation of reused results.
+
+Regenerates the rows of the paper's Figure 3; the timed kernel is a short
+simulation in this experiment's headline configuration.
+"""
+
+from repro.experiments import figure3
+from repro.experiments.configs import (  # noqa: F401
+    BASE,
+    IR_EARLY,
+    IR_LATE,
+    vp_lvp,
+    vp_magic,
+)
+
+
+def test_figure3_early_validation(benchmark, runner, emit, sim_kernel):
+    report = figure3.run(runner)
+    emit(report, "figure3_early_validation")
+    benchmark.pedantic(
+        lambda: sim_kernel("vortex", IR_LATE),
+        rounds=2, iterations=1)

@@ -1,0 +1,20 @@
+"""Figure 4: branch resolution latency normalised to base.
+
+Regenerates both parts — (a) 0-cycle and (b) 1-cycle VP-verification
+latency — with the four VP_Magic configurations plus the reuse scheme.
+The timed kernel runs the NSB configuration, the one whose resolution
+latency is most sensitive to verification delay.
+"""
+
+from repro.experiments import figure4
+from repro.uarch.config import BranchPolicy
+from repro.experiments.configs import vp_config, PredictorKind, ReexecPolicy
+
+
+def test_figure4_branch_resolution(benchmark, runner, emit, sim_kernel):
+    for part, report in enumerate(figure4.run_both(runner)):
+        emit(report, f"figure4{'ab'[part]}")
+    nsb = vp_config(PredictorKind.MAGIC, ReexecPolicy.MULTIPLE,
+                    BranchPolicy.NON_SPECULATIVE, 1)
+    benchmark.pedantic(lambda: sim_kernel("perl", nsb),
+                       rounds=2, iterations=1)

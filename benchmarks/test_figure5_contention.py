@@ -1,0 +1,22 @@
+"""Figure 5: resource contention (FU + cache-port denials per request) normalised to base.
+
+Regenerates the rows of the paper's Figure 5; the timed kernel is a short
+simulation in this experiment's headline configuration.
+"""
+
+from repro.experiments import figure5
+from repro.experiments.configs import (  # noqa: F401
+    BASE,
+    IR_EARLY,
+    IR_LATE,
+    vp_lvp,
+    vp_magic,
+)
+
+
+def test_figure5_contention(benchmark, runner, emit, sim_kernel):
+    report = figure5.run(runner)
+    emit(report, "figure5_contention")
+    benchmark.pedantic(
+        lambda: sim_kernel("compress", vp_magic()),
+        rounds=2, iterations=1)

@@ -1,0 +1,16 @@
+"""Figure 6: net speedups of VP_Magic (ME/NME x SB/NSB) and IR.
+
+Regenerates parts (a) and (b) — 0- and 1-cycle VP-verification latency —
+including the harmonic-mean row.  The timed kernel runs VP_Magic ME-SB,
+the paper's headline VP configuration.
+"""
+
+from repro.experiments import figure6
+from repro.experiments.configs import vp_magic
+
+
+def test_figure6_speedups(benchmark, runner, emit, sim_kernel):
+    for part, report in enumerate(figure6.run_both(runner)):
+        emit(report, f"figure6{'ab'[part]}")
+    benchmark.pedantic(lambda: sim_kernel("m88ksim", vp_magic()),
+                       rounds=2, iterations=1)

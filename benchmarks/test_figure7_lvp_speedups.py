@@ -1,0 +1,17 @@
+"""Figure 7: net speedups of VP_LVP (ME/NME x SB/NSB).
+
+Regenerates parts (a) and (b).  The expected shape: SB configurations
+degrade below 1.0 (spurious squashes outweigh the lower prediction
+accuracy) and NSB beats SB — the reverse of VP_Magic's ordering.  The
+timed kernel runs VP_LVP ME-SB, the configuration that degrades most.
+"""
+
+from repro.experiments import figure7
+from repro.experiments.configs import vp_lvp
+
+
+def test_figure7_lvp_speedups(benchmark, runner, emit, sim_kernel):
+    for part, report in enumerate(figure7.run_both(runner)):
+        emit(report, f"figure7{'ab'[part]}")
+    benchmark.pedantic(lambda: sim_kernel("vortex", vp_lvp()),
+                       rounds=2, iterations=1)

@@ -1,0 +1,15 @@
+"""Figure 8: unique/repeated/derivable/unaccounted classification of instruction results (functional limit study).
+
+Regenerates the rows of the paper's Figure 8; the timed kernel is the
+functional-simulation limit study over one workload window.
+"""
+
+from repro.experiments import figure8
+
+
+def test_figure8_redundancy(benchmark, runner, emit):
+    report = figure8.run(runner)
+    emit(report, "figure8_redundancy")
+    benchmark.pedantic(
+        lambda: runner.run_redundancy("m88ksim", warmup=2_000, window=5_000),
+        rounds=2, iterations=1)

@@ -1,0 +1,15 @@
+"""Figure 9: input readiness of repeated instructions (producer reused / >=50 ahead / <50 ahead).
+
+Regenerates the rows of the paper's Figure 9; the timed kernel is the
+functional-simulation limit study over one workload window.
+"""
+
+from repro.experiments import figure9
+
+
+def test_figure9_readiness(benchmark, runner, emit):
+    report = figure9.run(runner)
+    emit(report, "figure9_readiness")
+    benchmark.pedantic(
+        lambda: runner.run_redundancy("m88ksim", warmup=2_000, window=5_000),
+        rounds=2, iterations=1)

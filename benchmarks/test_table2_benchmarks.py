@@ -1,0 +1,22 @@
+"""Table 2: benchmark characteristics (instruction counts, branch and return prediction rates) on the base machine.
+
+Regenerates the rows of the paper's Table 2; the timed kernel is a short
+simulation in this experiment's headline configuration.
+"""
+
+from repro.experiments import table2
+from repro.experiments.configs import (  # noqa: F401
+    BASE,
+    IR_EARLY,
+    IR_LATE,
+    vp_lvp,
+    vp_magic,
+)
+
+
+def test_table2_benchmarks(benchmark, runner, emit, sim_kernel):
+    report = table2.run(runner)
+    emit(report, "table2_benchmarks")
+    benchmark.pedantic(
+        lambda: sim_kernel("go", BASE),
+        rounds=2, iterations=1)

@@ -1,0 +1,22 @@
+"""Table 3: IR reuse rates and VP_Magic/VP_LVP prediction rates.
+
+Regenerates the rows of the paper's Table 3; the timed kernel is a short
+simulation in this experiment's headline configuration.
+"""
+
+from repro.experiments import table3
+from repro.experiments.configs import (  # noqa: F401
+    BASE,
+    IR_EARLY,
+    IR_LATE,
+    vp_lvp,
+    vp_magic,
+)
+
+
+def test_table3_rates(benchmark, runner, emit, sim_kernel):
+    report = table3.run(runner)
+    emit(report, "table3_rates")
+    benchmark.pedantic(
+        lambda: sim_kernel("m88ksim", IR_EARLY),
+        rounds=2, iterations=1)

@@ -1,0 +1,22 @@
+"""Table 4: increase in branch squashes from spurious (value-speculative) branch resolutions under SB.
+
+Regenerates the rows of the paper's Table 4; the timed kernel is a short
+simulation in this experiment's headline configuration.
+"""
+
+from repro.experiments import table4
+from repro.experiments.configs import (  # noqa: F401
+    BASE,
+    IR_EARLY,
+    IR_LATE,
+    vp_lvp,
+    vp_magic,
+)
+
+
+def test_table4_spurious_squashes(benchmark, runner, emit, sim_kernel):
+    report = table4.run(runner)
+    emit(report, "table4_spurious_squashes")
+    benchmark.pedantic(
+        lambda: sim_kernel("vortex", vp_lvp()),
+        rounds=2, iterations=1)

@@ -1,0 +1,22 @@
+"""Table 5: wrong-path executed work squashed by mispredictions and the fraction IR recovers from the reuse buffer.
+
+Regenerates the rows of the paper's Table 5; the timed kernel is a short
+simulation in this experiment's headline configuration.
+"""
+
+from repro.experiments import table5
+from repro.experiments.configs import (  # noqa: F401
+    BASE,
+    IR_EARLY,
+    IR_LATE,
+    vp_lvp,
+    vp_magic,
+)
+
+
+def test_table5_squash_recovery(benchmark, runner, emit, sim_kernel):
+    report = table5.run(runner)
+    emit(report, "table5_squash_recovery")
+    benchmark.pedantic(
+        lambda: sim_kernel("go", IR_EARLY),
+        rounds=2, iterations=1)

@@ -1,0 +1,22 @@
+"""Table 6: dynamic instructions executed once/twice/thrice under VP_Magic ME-SB with 1-cycle verification.
+
+Regenerates the rows of the paper's Table 6; the timed kernel is a short
+simulation in this experiment's headline configuration.
+"""
+
+from repro.experiments import table6
+from repro.experiments.configs import (  # noqa: F401
+    BASE,
+    IR_EARLY,
+    IR_LATE,
+    vp_lvp,
+    vp_magic,
+)
+
+
+def test_table6_multiple_execution(benchmark, runner, emit, sim_kernel):
+    report = table6.run(runner)
+    emit(report, "table6_multiple_execution")
+    benchmark.pedantic(
+        lambda: sim_kernel("gcc", vp_magic(verify_latency=1)),
+        rounds=2, iterations=1)

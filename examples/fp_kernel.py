@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""VP and IR on floating-point code (the Table 1 FP pipeline).
+
+The paper evaluates SPECint95, but its Table 1 machine has a full FP
+side — 4 FP adders (2/1), one FP MULT/DIV unit (mult 4/1, div 12/12,
+sqrt 24/24) — which this repository models too.  FP code is fertile
+ground for both techniques: FP latencies are long, so collapsing a
+dependence saves more cycles per hit, and reused FP operations free the
+scarce MULT/DIV unit.
+
+The kernel normalises a vector repeatedly (rsqrt-style): a dot product,
+one sqrt, one divide, and a scale pass — heavy on exactly the
+long-latency units.
+
+Run:  python examples/fp_kernel.py
+"""
+
+from repro import OutOfOrderCore, assemble, base_config, ir_config, vp_config
+
+SOURCE = """
+.data
+vec:  .float 3.0, 4.0, 12.0, 84.0
+norm: .float 0.0, 0.0, 0.0, 0.0
+
+.text
+main:   li $s0, 250              # repetitions (same data every time)
+outer:  la $s1, vec
+        li.s $f0, 0.0            # accumulator
+        li $t0, 0
+dot:    sll $t1, $t0, 2
+        lwc1 $f1, vec($t1)
+        mul.s $f2, $f1, $f1      # 4-cycle multiplies
+        add.s $f0, $f0, $f2      # 2-cycle dependent adds
+        addi $t0, $t0, 1
+        slti $t2, $t0, 4
+        bnez $t2, dot
+
+        sqrt.s $f3, $f0          # 24 cycles, not pipelined
+        li $t0, 0
+scale:  sll $t1, $t0, 2
+        lwc1 $f4, vec($t1)
+        div.s $f5, $f4, $f3      # 12 cycles on the single FP div unit
+        swc1 $f5, norm($t1)
+        addi $t0, $t0, 1
+        slti $t2, $t0, 4
+        bnez $t2, scale
+
+        addi $s0, $s0, -1
+        bnez $s0, outer
+        halt
+"""
+
+
+def main() -> None:
+    program = assemble(SOURCE)
+    print(f"{'machine':<22} {'cycles':>8} {'speedup':>8} "
+          f"{'FP work skipped':>16}")
+    print("-" * 58)
+    base_cycles = None
+    base_execs = None
+    for config in (base_config(), vp_config(), ir_config()):
+        core = OutOfOrderCore(config, program)
+        stats = core.run(max_cycles=500_000)
+        assert stats.halted
+        if base_cycles is None:
+            base_cycles = stats.cycles
+            base_execs = stats.execution_attempts
+        skipped = base_execs - stats.execution_attempts
+        print(f"{config.name:<22} {stats.cycles:>8} "
+              f"{base_cycles / stats.cycles:>7.2f}x "
+              f"{skipped:>12} ops")
+    print()
+    print("Every iteration recomputes the same normalisation: IR lifts")
+    print("the whole sqrt/divide chain out of the 24- and 12-cycle units;")
+    print("VP predicts the results but still occupies the units to verify.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Section 4.3 in miniature: how much redundancy exists, and how much of
+it could IR capture?
+
+Runs the Figure 8/9/10 limit study over any (or every) workload: results
+are classified unique / repeated / derivable, repeated instructions are
+bucketed by input readiness, and the reusable fraction of the redundancy
+is reported — the paper's bound on IR's reach (84-97% there).
+
+Run:  python examples/redundancy_limits.py [workload|all]
+"""
+
+import sys
+
+from repro.functional import FunctionalSimulator
+from repro.redundancy import ReusabilityAnalyzer
+from repro.workloads import get_workload, workload_names
+
+WARMUP = 40_000
+WINDOW = 60_000
+
+
+def study(name: str) -> None:
+    spec = get_workload(name)
+    sim = FunctionalSimulator(spec.program())
+    sim.skip(spec.skip_instructions + WARMUP)
+    analyzer = ReusabilityAnalyzer()
+    for outcome in sim.stream(WINDOW):
+        analyzer.observe(outcome)
+
+    classified = analyzer.classifier.counts
+    reuse = analyzer.counts
+    pct = classified.as_percentages()
+    ready = reuse.readiness_percentages()
+
+    print(f"== {name} ({WINDOW} dynamic instructions) ==")
+    print(f"  Figure 8  unique {pct['unique']:5.1f}%   "
+          f"repeated {pct['repeated']:5.1f}%   "
+          f"derivable {pct['derivable']:5.1f}%   "
+          f"unaccounted {pct['unaccounted']:5.1f}%")
+    print(f"  Figure 9  producers reused {ready['producers_reused']:5.1f}%  "
+          f"ready (far) {ready['producers_far']:5.1f}%  "
+          f"not ready {ready['producers_near']:5.1f}%")
+    print(f"  Figure 10 reusable = "
+          f"{100 * reuse.reusable_fraction_of_redundant:5.1f}% "
+          f"of the redundancy "
+          f"(paper band: 84-97%)")
+    print()
+
+
+def main() -> None:
+    target = sys.argv[1] if len(sys.argv) > 1 else "m88ksim"
+    names = workload_names() if target == "all" else [target]
+    for name in names:
+        study(name)
+    print("Interpretation: most results repeat; IR's operand-based,")
+    print("non-speculative detection captures the bulk of them — its")
+    print("restrictiveness is not the limiting factor (Section 4.3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Watch instructions flow through the pipeline under each technique.
+
+Uses :class:`repro.uarch.trace.PipelineTracer` to print a Figure-2-style
+table — dispatch / issue / completion / commit cycle per instruction,
+plus how its value was obtained — for the base, VP and IR machines over
+the same redundant loop (steady state).
+
+Run:  python examples/trace_pipeline.py
+"""
+
+from repro import OutOfOrderCore, assemble, base_config, ir_config, vp_config
+from repro.uarch.trace import PipelineTracer
+
+SOURCE = """
+main:   li $s0, 40
+loop:   li $t0, 6          # a redundant four-instruction chain
+        add $t1, $t0, $t0
+        add $t2, $t1, $t1
+        add $t3, $t2, $t2
+        addi $s0, $s0, -1
+        bnez $s0, loop
+        halt
+"""
+
+
+def main() -> None:
+    for config in (base_config(), vp_config(), ir_config()):
+        core = OutOfOrderCore(config, assemble(SOURCE))
+        # Skip the first ~25 commits so the VPT/RB are warm.
+        tracer = PipelineTracer(core, limit=7, start_cycle=30)
+        core.run(max_cycles=20_000)
+        print(f"=== {config.name} ===")
+        print(tracer.render())
+        print()
+    print("Reading the 'how' column: 'executed' instructions waited for")
+    print("their operands; 'predicted' ones issued immediately on VPT")
+    print("values and verified at execute; 'reused' ones never touched a")
+    print("functional unit — they completed at dispatch.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Tour of the seven SPECint95-analog workloads.
+
+For each analog, prints what it imitates, its measured character (branch
+prediction, instruction mix) and how the two techniques engage with it —
+a miniature Table 2 + Table 3 on one screen.
+
+Run:  python examples/workload_tour.py [instructions-per-run]
+"""
+
+import sys
+
+from repro import OutOfOrderCore, base_config, ir_config, vp_config
+from repro.workloads import all_workloads
+
+
+def simulate(spec, config, instructions):
+    core = OutOfOrderCore(config, spec.program())
+    core.skip(spec.skip_instructions)
+    return core.run(max_instructions=instructions, max_cycles=600_000)
+
+
+def main() -> None:
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 6_000
+    print(f"{instructions} committed instructions per run "
+          f"(paper: 200M cycles of real SPEC95)\n")
+    header = (f"{'bench':<9} {'bp%':>6} {'paper':>6} {'mem%':>5} "
+              f"{'IR reuse%':>10} {'VP pred%':>9} "
+              f"{'IR speedup':>11} {'VP speedup':>11}")
+    print(header)
+    print("-" * len(header))
+    for name, spec in all_workloads().items():
+        base = simulate(spec, base_config(), instructions)
+        reuse = simulate(spec, ir_config(), instructions)
+        predict = simulate(spec, vp_config(), instructions)
+        print(f"{name:<9} "
+              f"{100 * base.branch_prediction_rate:>6.1f} "
+              f"{spec.paper.branch_pred_rate:>6.1f} "
+              f"{100 * base.memory_ops / max(base.committed, 1):>5.1f} "
+              f"{100 * reuse.ir_result_rate:>10.1f} "
+              f"{100 * predict.vp_result_rate:>9.1f} "
+              f"{base.cycles / reuse.cycles:>10.2f}x "
+              f"{base.cycles / predict.cycles:>10.2f}x")
+    print()
+    for name, spec in all_workloads().items():
+        print(f"{name:<9} {spec.description}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — reproduction of Sodani & Sohi, "Understanding the Differences
+Between Value Prediction and Instruction Reuse" (MICRO 1998).
+
+Public API quick tour::
+
+    from repro import assemble, OutOfOrderCore, base_config, ir_config
+
+    program = assemble('''
+    main: li $t0, 10
+    loop: addi $t0, $t0, -1
+          bnez $t0, loop
+          halt
+    ''')
+    stats = OutOfOrderCore(ir_config(), program).run()
+    print(stats.ipc, stats.ir_result_rate)
+
+Packages:
+
+* :mod:`repro.isa` — the MIPS-like ISA and assembler,
+* :mod:`repro.functional` — in-order functional simulation,
+* :mod:`repro.uarch` — the out-of-order timing core (Table 1 machine),
+* :mod:`repro.vp` — VP_Magic / VP_LVP value predictors,
+* :mod:`repro.reuse` — the reuse buffer and scheme S_{n+d},
+* :mod:`repro.redundancy` — the Figure 8-10 limit studies,
+* :mod:`repro.workloads` — seven SPECint95-analog programs,
+* :mod:`repro.experiments` — one module per table/figure of the paper.
+"""
+
+from .functional import FunctionalSimulator
+from .isa import Program, assemble
+from .metrics import SimStats, harmonic_mean, speedup
+from .uarch.config import (
+    BranchPolicy,
+    IRValidation,
+    MachineConfig,
+    PredictorKind,
+    ReexecPolicy,
+    base_config,
+    ir_config,
+    vp_config,
+)
+from .uarch.core import OutOfOrderCore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FunctionalSimulator",
+    "Program",
+    "assemble",
+    "SimStats",
+    "harmonic_mean",
+    "speedup",
+    "BranchPolicy",
+    "IRValidation",
+    "MachineConfig",
+    "PredictorKind",
+    "ReexecPolicy",
+    "base_config",
+    "ir_config",
+    "vp_config",
+    "OutOfOrderCore",
+    "__version__",
+]

@@ -1,0 +1,140 @@
+"""``repro-sim``: run an assembly file (or workload) through the machine.
+
+A downstream user's entry point for quick studies::
+
+    repro-sim program.s                       # base machine
+    repro-sim program.s --config vp ir hybrid # compare techniques
+    repro-sim --workload compress --config ir --breakdown
+    repro-sim program.s --config ir --trace 16
+
+Prints cycles/IPC/capture rates per configuration, optionally followed by
+a per-class breakdown (see :mod:`repro.metrics.breakdown`) and a pipeline
+trace of the first committed instructions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .isa import assemble
+from .metrics.breakdown import ClassBreakdown
+from .uarch.config import (
+    IRValidation,
+    MachineConfig,
+    PredictorKind,
+    base_config,
+    hybrid_config,
+    ir_config,
+    vp_config,
+)
+from .uarch.core import OutOfOrderCore
+from .uarch.trace import PipelineTracer
+from .workloads import get_workload, workload_names
+
+CONFIG_FACTORIES = {
+    "base": base_config,
+    "ir": ir_config,
+    "ir-late": lambda: ir_config(IRValidation.LATE),
+    "vp": vp_config,
+    "vp-lvp": lambda: vp_config(PredictorKind.LAST_VALUE),
+    "vp-stride": lambda: vp_config(PredictorKind.STRIDE),
+    "hybrid": hybrid_config,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Simulate an assembly program on the Sodani & Sohi "
+                    "(MICRO 1998) machine model")
+    parser.add_argument("source", nargs="?", type=Path,
+                        help="assembly file (omit when using --workload)")
+    parser.add_argument("--workload", choices=sorted(workload_names()),
+                        help="run a bundled SPECint95 analog instead")
+    parser.add_argument("--variant", default="ref",
+                        help="workload input variant (ref/train)")
+    parser.add_argument("--config", nargs="+", default=["base"],
+                        choices=sorted(CONFIG_FACTORIES),
+                        help="machine configuration(s) to run")
+    parser.add_argument("--instructions", type=int, default=50_000,
+                        help="committed-instruction budget")
+    parser.add_argument("--max-cycles", type=int, default=2_000_000)
+    parser.add_argument("--skip", type=int, default=None,
+                        help="functional fast-forward before timing "
+                             "(defaults to the workload's skip, or 0)")
+    parser.add_argument("--breakdown", action="store_true",
+                        help="print the per-class capture breakdown")
+    parser.add_argument("--trace", type=int, metavar="N", default=0,
+                        help="print a pipeline trace of N committed "
+                             "instructions (steady state)")
+    parser.add_argument("--verify", action="store_true",
+                        help="verify every commit against the functional "
+                             "simulator")
+    return parser
+
+
+def _load_program(args):
+    if args.workload:
+        spec = get_workload(args.workload)
+        skip = args.skip if args.skip is not None \
+            else spec.skip_instructions
+        label = f"{args.workload} ({args.variant})"
+        return (lambda: spec.program(args.variant)), skip, label
+    if args.source is None:
+        raise SystemExit("provide an assembly file or --workload")
+    text = args.source.read_text()
+    return (lambda: assemble(text)), (args.skip or 0), str(args.source)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    program_fn, skip, label = _load_program(args)
+
+    print(f"program: {label}   skip: {skip}   "
+          f"budget: {args.instructions} instructions")
+    print()
+    header = (f"{'config':<22} {'cycles':>9} {'IPC':>6} {'speedup':>8} "
+              f"{'bp%':>6} {'reuse%':>7} {'pred%':>6}")
+    print(header)
+    print("-" * len(header))
+
+    base_cycles = None
+    extras = []
+    for name in args.config:
+        config = CONFIG_FACTORIES[name]()
+        if args.verify:
+            import dataclasses
+            config = dataclasses.replace(config, verify_commits=True)
+        core = OutOfOrderCore(config, program_fn())
+        breakdown = ClassBreakdown(core) if args.breakdown else None
+        tracer = None
+        if args.trace:
+            tracer = PipelineTracer(core, limit=args.trace,
+                                    start_cycle=200)
+        core.skip(skip)
+        stats = core.run(max_cycles=args.max_cycles,
+                         max_instructions=args.instructions)
+        if base_cycles is None:
+            base_cycles = stats.cycles
+        print(f"{config.name:<22} {stats.cycles:>9} {stats.ipc:>6.2f} "
+              f"{base_cycles / stats.cycles:>7.2f}x "
+              f"{100 * stats.branch_prediction_rate:>5.1f} "
+              f"{100 * stats.ir_result_rate:>6.1f} "
+              f"{100 * stats.vp_result_rate:>5.1f}")
+        if breakdown is not None:
+            extras.append(breakdown.report(
+                f"Per-class breakdown: {config.name}"))
+        if tracer is not None:
+            extras.append(f"Pipeline trace: {config.name}\n"
+                          + tracer.render())
+    for extra in extras:
+        print()
+        print(extra.render() if hasattr(extra, "render") else extra)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Experiment harness: one module per table/figure of the paper."""
+
+from .runner import (
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_MAX_CYCLES,
+    ExperimentRunner,
+    default_runner,
+)
+
+__all__ = [
+    "ExperimentRunner",
+    "default_runner",
+    "DEFAULT_INSTRUCTIONS",
+    "DEFAULT_MAX_CYCLES",
+]

@@ -1,0 +1,108 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    repro-experiment table3
+    repro-experiment figure6 --instructions 50000
+    repro-experiment all --instructions 30000
+    python -m repro.experiments.cli figure8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from ..metrics.report import Report
+from .runner import DEFAULT_INSTRUCTIONS, ExperimentRunner, default_runner
+from . import (
+    ablations,
+    breakdown_experiment,
+    sensitivity,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+
+
+def _single(module) -> Callable[[ExperimentRunner], List[Report]]:
+    return lambda runner: [module.run(runner)]
+
+
+EXPERIMENTS: Dict[str, Callable[[ExperimentRunner], List[Report]]] = {
+    "table2": _single(table2),
+    "table3": _single(table3),
+    "table4": _single(table4),
+    "table5": _single(table5),
+    "table6": _single(table6),
+    "figure3": _single(figure3),
+    "figure4": figure4.run_both,
+    "figure5": _single(figure5),
+    "figure6": figure6.run_both,
+    "figure7": figure7.run_both,
+    "figure8": _single(figure8),
+    "figure9": _single(figure9),
+    "figure10": _single(figure10),
+    "ablations": ablations.run,
+    "sensitivity": _single(sensitivity),
+    "breakdown": _single(breakdown_experiment),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Regenerate tables and figures from Sodani & Sohi, "
+                    "MICRO 1998")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which table/figure to regenerate")
+    parser.add_argument("--instructions", type=int,
+                        default=DEFAULT_INSTRUCTIONS,
+                        help="committed-instruction budget per run")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the results/ cache")
+    parser.add_argument("--verify", action="store_true",
+                        help="cross-check every commit against the "
+                             "functional simulator (slower)")
+    parser.add_argument("--charts", action="store_true",
+                        help="also render each report as an ASCII bar "
+                             "chart (speedup figures use a 1.0 marker)")
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    overrides = {"max_instructions": args.instructions,
+                 "verify": args.verify}
+    if args.no_cache:
+        overrides["cache_dir"] = None
+    runner = default_runner(**overrides)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        for report in EXPERIMENTS[name](runner):
+            print()
+            print(report.render())
+            if args.charts:
+                from ..metrics.charts import report_to_chart
+                reference = 1.0 if "speedup" in report.title.lower() \
+                    else None
+                print()
+                print(report_to_chart(report, reference=reference))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

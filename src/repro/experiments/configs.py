@@ -1,0 +1,52 @@
+"""The named machine configurations used across the evaluation."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..uarch.config import (
+    BranchPolicy,
+    IRValidation,
+    MachineConfig,
+    PredictorKind,
+    ReexecPolicy,
+    base_config,
+    ir_config,
+    vp_config,
+)
+
+BASE = base_config()
+IR_EARLY = ir_config(IRValidation.EARLY)
+IR_LATE = ir_config(IRValidation.LATE)
+
+
+def vp_matrix(kind: PredictorKind, verify_latency: int) -> List[MachineConfig]:
+    """The paper's four VP configurations: ME/NME x SB/NSB (Sec 4.1.4)."""
+    return [
+        vp_config(kind, ReexecPolicy.MULTIPLE, BranchPolicy.SPECULATIVE,
+                  verify_latency),
+        vp_config(kind, ReexecPolicy.SINGLE, BranchPolicy.SPECULATIVE,
+                  verify_latency),
+        vp_config(kind, ReexecPolicy.MULTIPLE, BranchPolicy.NON_SPECULATIVE,
+                  verify_latency),
+        vp_config(kind, ReexecPolicy.SINGLE, BranchPolicy.NON_SPECULATIVE,
+                  verify_latency),
+    ]
+
+
+def vp_magic(reexec: ReexecPolicy = ReexecPolicy.MULTIPLE,
+             branches: BranchPolicy = BranchPolicy.SPECULATIVE,
+             verify_latency: int = 0) -> MachineConfig:
+    return vp_config(PredictorKind.MAGIC, reexec, branches, verify_latency)
+
+
+def vp_lvp(reexec: ReexecPolicy = ReexecPolicy.MULTIPLE,
+           branches: BranchPolicy = BranchPolicy.SPECULATIVE,
+           verify_latency: int = 0) -> MachineConfig:
+    return vp_config(PredictorKind.LAST_VALUE, reexec, branches,
+                     verify_latency)
+
+
+def short_vp_name(config: MachineConfig) -> str:
+    """'ME-SB'-style label as the paper prints them."""
+    return f"{config.vp.reexec_policy.value}-{config.vp.branch_policy.value}"

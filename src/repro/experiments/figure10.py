@@ -1,0 +1,40 @@
+"""Figure 10: how much of the redundancy is reusable.
+
+reusable = repeated - (inputs not ready) - (different inputs) -
+(memory-invalidated loads); reported as a % of redundant (repeated +
+derivable) instructions.  Paper: 84-97%.
+"""
+
+from __future__ import annotations
+
+from ..metrics.report import Report
+from ..workloads import all_workloads
+from .runner import ExperimentRunner
+
+
+def run(runner: ExperimentRunner, producer_distance: int = 50) -> Report:
+    report = Report(
+        title="Figure 10: amount of redundancy that can be reused "
+              "(% of redundant instructions)",
+        headers=["bench", "redundant (dyn insts)", "reusable %",
+                 "lost: not ready %", "lost: different inputs %",
+                 "lost: memory invalidated %", "lost: derivable %"],
+    )
+    for name in all_workloads():
+        analyzer = runner.run_redundancy(
+            name, producer_distance=producer_distance)
+        counts = analyzer.counts
+        redundant = counts.redundant or 1
+        report.add_row(
+            name,
+            counts.redundant,
+            100.0 * counts.reusable_fraction_of_redundant,
+            100.0 * counts.producers_near / redundant,
+            100.0 * counts.different_inputs / redundant,
+            100.0 * counts.memory_invalidated / redundant,
+            100.0 * counts.derivable / redundant,
+        )
+    report.add_note("paper: 84-97% of redundancy reusable; see Figure 9 "
+                    "note on the producer-distance horizon for compact "
+                    "analog loops")
+    return report

@@ -1,0 +1,44 @@
+"""Figure 3: the performance value of early validation.
+
+``early`` validates reused results at decode (real IR); ``late`` defers
+validation to execute, as if reused instructions were predicted
+correctly.  The paper: more than half the IR improvement is lost when
+validation is deferred.
+"""
+
+from __future__ import annotations
+
+from ..metrics.report import Report
+from ..metrics.stats import harmonic_mean, speedup
+from ..workloads import all_workloads
+from .configs import BASE, IR_EARLY, IR_LATE
+from .runner import ExperimentRunner
+
+
+def run(runner: ExperimentRunner) -> Report:
+    report = Report(
+        title="Figure 3: % speedup over base with early vs late validation "
+              "of reused results",
+        headers=["bench", "early %", "late %", "benefit lost %"],
+    )
+    early_speedups = []
+    late_speedups = []
+    for name in all_workloads():
+        base = runner.run(name, BASE)
+        early = speedup(runner.run(name, IR_EARLY), base)
+        late = speedup(runner.run(name, IR_LATE), base)
+        early_speedups.append(early)
+        late_speedups.append(late)
+        early_pct = 100.0 * (early - 1.0)
+        late_pct = 100.0 * (late - 1.0)
+        lost = (100.0 * (early_pct - late_pct) / early_pct
+                if early_pct > 0 else 0.0)
+        report.add_row(name, early_pct, late_pct, lost)
+    hm_early = 100.0 * (harmonic_mean(early_speedups) - 1.0)
+    hm_late = 100.0 * (harmonic_mean(late_speedups) - 1.0)
+    report.add_row("HM", hm_early, hm_late,
+                   100.0 * (hm_early - hm_late) / hm_early
+                   if hm_early > 0 else 0.0)
+    report.add_note("paper: more than half of the IR improvement is lost "
+                    "when validation moves to the execute stage")
+    return report

@@ -1,0 +1,46 @@
+"""Figure 4: branch resolution latency, normalised to the base machine.
+
+Reused branches resolve at decode (latency 0); SB resolves at execute;
+NSB waits for operands to become non-value-speculative.  Parts (a)/(b)
+use 0- and 1-cycle VP-verification latency; the IR bar is the same in
+both (the reuse test runs in parallel with decode).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..metrics.report import Report
+from ..uarch.config import BranchPolicy, PredictorKind, ReexecPolicy
+from ..workloads import all_workloads
+from .configs import BASE, IR_EARLY, short_vp_name, vp_config, vp_matrix
+from .runner import ExperimentRunner
+
+
+def run(runner: ExperimentRunner, verify_latency: int = 0,
+        kind: PredictorKind = PredictorKind.MAGIC) -> Report:
+    part = "a" if verify_latency == 0 else "b"
+    configs = vp_matrix(kind, verify_latency)
+    report = Report(
+        title=f"Figure 4({part}): branch resolution latency normalised to "
+              f"base ({verify_latency}-cycle VP-verification)",
+        headers=["bench", "base (cycles)"]
+                + [short_vp_name(c) for c in configs] + ["reuse-n+d"],
+    )
+    for name in all_workloads():
+        base = runner.run(name, BASE)
+        baseline = base.mean_branch_resolution_latency or 1.0
+        cells: List[float] = []
+        for config in configs:
+            stats = runner.run(name, config)
+            cells.append(stats.mean_branch_resolution_latency / baseline)
+        reuse = runner.run(name, IR_EARLY)
+        cells.append(reuse.mean_branch_resolution_latency / baseline)
+        report.add_row(name, baseline, *cells)
+    report.add_note("expect: IR lowest; SB < NSB; the gap grows with "
+                    "1-cycle verification latency")
+    return report
+
+
+def run_both(runner: ExperimentRunner) -> List[Report]:
+    return [run(runner, 0), run(runner, 1)]

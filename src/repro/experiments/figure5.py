@@ -1,0 +1,42 @@
+"""Figure 5: resource contention, normalised to the base machine.
+
+Contention = (resource-unavailable events) / (resource requests) at
+issue, over functional units and data-cache ports.  IR tends to reduce
+contention (reused instructions do not execute); VP tends to raise it
+(re-executions, earlier clustering of ready instructions).  ME vs NME
+should barely differ (Table 6: few multiple executions).
+"""
+
+from __future__ import annotations
+
+from ..metrics.report import Report
+from ..uarch.config import BranchPolicy, PredictorKind, ReexecPolicy
+from ..workloads import all_workloads
+from .configs import BASE, IR_EARLY, vp_lvp, vp_magic
+from .runner import ExperimentRunner
+
+
+def run(runner: ExperimentRunner) -> Report:
+    report = Report(
+        title="Figure 5: resource contention normalised to base "
+              "(0-cycle VP-verification)",
+        headers=["bench", "base", "reuse-n+d",
+                 "VPM ME-SB", "VPM NME-SB", "LVP ME-SB"],
+    )
+    for name in all_workloads():
+        base = runner.run(name, BASE)
+        baseline = base.resource_contention or 1e-9
+        report.add_row(
+            name,
+            base.resource_contention,
+            runner.run(name, IR_EARLY).resource_contention / baseline,
+            runner.run(name, vp_magic(ReexecPolicy.MULTIPLE))
+            .resource_contention / baseline,
+            runner.run(name, vp_magic(ReexecPolicy.SINGLE))
+            .resource_contention / baseline,
+            runner.run(name, vp_lvp(ReexecPolicy.MULTIPLE))
+            .resource_contention / baseline,
+        )
+    report.add_note("expect: IR mostly <= 1.0, VP >= 1.0; ME vs NME "
+                    "nearly identical")
+    return report

@@ -1,0 +1,51 @@
+"""Figure 6: net speedups — VP_Magic (four configurations) and IR.
+
+Parts (a)/(b) are 0- and 1-cycle VP-verification latency; the IR bars
+are identical in both.  HM rows give the harmonic mean across the suite.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..metrics.report import Report
+from ..metrics.stats import harmonic_mean, speedup
+from ..uarch.config import PredictorKind
+from ..workloads import all_workloads
+from .configs import BASE, IR_EARLY, short_vp_name, vp_matrix
+from .runner import ExperimentRunner
+
+
+def run(runner: ExperimentRunner, verify_latency: int = 0,
+        kind: PredictorKind = PredictorKind.MAGIC,
+        include_ir: bool = True) -> Report:
+    part = "a" if verify_latency == 0 else "b"
+    configs = vp_matrix(kind, verify_latency)
+    kind_label = "VP_Magic" if kind == PredictorKind.MAGIC else "VP_LVP"
+    headers = ["bench"] + [short_vp_name(c) for c in configs]
+    if include_ir:
+        headers.append("reuse-n+d")
+    report = Report(
+        title=f"Figure 6({part}): speedups over base, {kind_label} "
+              f"({verify_latency}-cycle VP-verification)"
+        if kind == PredictorKind.MAGIC else
+        f"Figure 7({part}): speedups over base, {kind_label} "
+        f"({verify_latency}-cycle VP-verification)",
+        headers=headers,
+    )
+    columns: List[List[float]] = [[] for _ in headers[1:]]
+    for name in all_workloads():
+        base = runner.run(name, BASE)
+        cells = [speedup(runner.run(name, config), base)
+                 for config in configs]
+        if include_ir:
+            cells.append(speedup(runner.run(name, IR_EARLY), base))
+        for column, value in zip(columns, cells):
+            column.append(value)
+        report.add_row(name, *cells)
+    report.add_row("HM", *[harmonic_mean(column) for column in columns])
+    return report
+
+
+def run_both(runner: ExperimentRunner) -> List[Report]:
+    return [run(runner, 0), run(runner, 1)]

@@ -1,0 +1,26 @@
+"""Figure 7: net speedups for VP_LVP (four configurations).
+
+The paper warns VP_LVP results should not be compared against the IR bars
+(one instance per instruction vs four), so the IR column is omitted.
+Expectation: SB configurations degrade below 1.0 (spurious squashes are
+not offset by the lower prediction accuracy), and NSB beats SB — the
+opposite of VP_Magic's ordering.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..metrics.report import Report
+from ..uarch.config import PredictorKind
+from .runner import ExperimentRunner
+from . import figure6
+
+
+def run(runner: ExperimentRunner, verify_latency: int = 0) -> "Report":
+    return figure6.run(runner, verify_latency,
+                       kind=PredictorKind.LAST_VALUE, include_ir=False)
+
+
+def run_both(runner: ExperimentRunner) -> List["Report"]:
+    return [run(runner, 0), run(runner, 1)]

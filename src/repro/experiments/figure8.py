@@ -1,0 +1,30 @@
+"""Figure 8: classification of instruction results.
+
+unique / repeated / derivable / unaccounted, per the Section 4.3 limit
+study (10K buffered instances per static instruction).  Paper: <5%
+unique, 80-90% repeated, <5% derivable.
+"""
+
+from __future__ import annotations
+
+from ..metrics.report import Report
+from ..workloads import all_workloads
+from .runner import ExperimentRunner
+
+
+def run(runner: ExperimentRunner) -> Report:
+    report = Report(
+        title="Figure 8: classification of instruction results "
+              "(% of result-producing dynamic instructions)",
+        headers=["bench", "unique", "repeated", "derivable", "unaccounted",
+                 "redundant (rep+der)"],
+    )
+    for name in all_workloads():
+        analyzer = runner.run_redundancy(name)
+        counts = analyzer.classifier.counts
+        pct = counts.as_percentages()
+        report.add_row(name, pct["unique"], pct["repeated"],
+                       pct["derivable"], pct["unaccounted"],
+                       pct["repeated"] + pct["derivable"])
+    report.add_note("paper: <5% unique, 80-90% repeated, <5% derivable")
+    return report

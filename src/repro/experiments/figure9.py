@@ -1,0 +1,32 @@
+"""Figure 9: input readiness of repeated instructions.
+
+Each repeated instruction falls into one of three buckets: producers were
+themselves reused (inputs ready), unreused producers at distance >= 50
+(ready), or unreused producers within 50 instructions (not ready).
+Paper: most repeated instructions have reused producers; <10% not ready.
+"""
+
+from __future__ import annotations
+
+from ..metrics.report import Report
+from ..workloads import all_workloads
+from .runner import ExperimentRunner
+
+
+def run(runner: ExperimentRunner, producer_distance: int = 50) -> Report:
+    report = Report(
+        title=f"Figure 9: readiness of repeated instructions' inputs "
+              f"(producer distance threshold {producer_distance})",
+        headers=["bench", "producers reused %", "prod-dist >= 50 %",
+                 "prod-dist < 50 (not ready) %"],
+    )
+    for name in all_workloads():
+        analyzer = runner.run_redundancy(
+            name, producer_distance=producer_distance)
+        pct = analyzer.counts.readiness_percentages()
+        report.add_row(name, pct["producers_reused"], pct["producers_far"],
+                       pct["producers_near"])
+    report.add_note("paper: producers mostly reused; <10% not ready. Our "
+                    "analogs have ~3x denser loop bodies than compiled "
+                    "SPEC, so the 50-instruction horizon is stricter here")
+    return report

@@ -1,0 +1,130 @@
+"""Shared experiment driver with on-disk result caching.
+
+Every table/figure experiment needs timing-simulation results for some
+(workload x configuration) pairs; many pairs are shared between
+experiments (e.g. the base run is the denominator of every speedup).
+:class:`ExperimentRunner` runs each pair once and caches the resulting
+:class:`SimStats` as JSON, keyed by workload, configuration name, window
+size and a hash of the workload source — so editing a workload
+invalidates its cached results automatically.
+
+Window sizes default to a laptop-scale budget (the paper simulates 200M
+cycles per run on SimpleScalar; a pure-Python model is ~10^4x slower, so
+the defaults reproduce shapes rather than absolute magnitudes — see
+DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from ..functional.simulator import FunctionalSimulator
+from ..metrics.stats import SimStats
+from ..redundancy.reusability import ReusabilityAnalyzer
+from ..uarch.config import MachineConfig
+from ..uarch.core import OutOfOrderCore
+from ..workloads import WorkloadSpec, all_workloads, get_workload
+
+CACHE_VERSION = 2
+
+DEFAULT_INSTRUCTIONS = 20_000
+DEFAULT_MAX_CYCLES = 600_000
+
+
+class ExperimentRunner:
+    """Runs (workload x config) timing simulations with JSON caching."""
+
+    def __init__(self,
+                 max_instructions: int = DEFAULT_INSTRUCTIONS,
+                 max_cycles: int = DEFAULT_MAX_CYCLES,
+                 cache_dir: Optional[Path] = None,
+                 verify: bool = False,
+                 quiet: bool = False):
+        self.max_instructions = max_instructions
+        self.max_cycles = max_cycles
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self.verify = verify
+        self.quiet = quiet
+        self._memory_cache: Dict[str, SimStats] = {}
+
+    # -- timing runs ------------------------------------------------------------
+
+    def run(self, workload: str, config: MachineConfig) -> SimStats:
+        """Simulate *workload* under *config* (cached)."""
+        spec = get_workload(workload)
+        key = self._key(spec, config)
+        cached = self._load(key)
+        if cached is not None:
+            return cached
+        if not self.quiet:
+            print(f"[run] {workload} / {config.name} "
+                  f"({self.max_instructions} insts)", flush=True)
+        if self.verify:
+            config = dataclasses.replace(config, verify_commits=True)
+        core = OutOfOrderCore(config, spec.program())
+        core.skip(spec.skip_instructions)
+        stats = core.run(max_cycles=self.max_cycles,
+                         max_instructions=self.max_instructions)
+        stats.workload_name = workload
+        self._store(key, stats)
+        return stats
+
+    def run_workloads(self, config: MachineConfig,
+                      workloads: Optional[Iterable[str]] = None
+                      ) -> Dict[str, SimStats]:
+        names = list(workloads) if workloads else list(all_workloads())
+        return {name: self.run(name, config) for name in names}
+
+    # -- limit-study runs ---------------------------------------------------------
+
+    def run_redundancy(self, workload: str,
+                       warmup: int = 60_000,
+                       window: int = 60_000,
+                       producer_distance: int = 50) -> ReusabilityAnalyzer:
+        """Functional-simulation limit study (Figures 8-10). Not cached:
+        it is much cheaper than a timing run."""
+        spec = get_workload(workload)
+        sim = FunctionalSimulator(spec.program())
+        sim.skip(spec.skip_instructions + warmup)
+        analyzer = ReusabilityAnalyzer(producer_distance=producer_distance)
+        for outcome in sim.stream(window):
+            analyzer.observe(outcome)
+        return analyzer
+
+    # -- caching -------------------------------------------------------------------
+
+    def _key(self, spec: WorkloadSpec, config: MachineConfig) -> str:
+        source_hash = hashlib.sha256(spec.source().encode()).hexdigest()[:12]
+        return (f"v{CACHE_VERSION}-{spec.name}-{config.name}"
+                f"-i{self.max_instructions}-c{self.max_cycles}-{source_hash}")
+
+    def _load(self, key: str) -> Optional[SimStats]:
+        if key in self._memory_cache:
+            return self._memory_cache[key]
+        if self.cache_dir is None:
+            return None
+        path = self.cache_dir / f"{key}.json"
+        if not path.exists():
+            return None
+        stats = SimStats.from_dict(json.loads(path.read_text()))
+        self._memory_cache[key] = stats
+        return stats
+
+    def _store(self, key: str, stats: SimStats) -> None:
+        self._memory_cache[key] = stats
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            path = self.cache_dir / f"{key}.json"
+            path.write_text(json.dumps(stats.as_dict(), indent=1))
+
+
+def default_runner(**overrides) -> ExperimentRunner:
+    """Runner with the repository-standard cache directory."""
+    cache = Path(__file__).resolve().parents[3] / "results"
+    settings = {"cache_dir": cache}
+    settings.update(overrides)
+    return ExperimentRunner(**settings)

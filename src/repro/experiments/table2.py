@@ -1,0 +1,32 @@
+"""Table 2: benchmark programs, instruction counts, prediction rates."""
+
+from __future__ import annotations
+
+from ..metrics.report import Report
+from ..workloads import all_workloads
+from .configs import BASE
+from .runner import ExperimentRunner
+
+
+def run(runner: ExperimentRunner) -> Report:
+    report = Report(
+        title="Table 2: benchmarks, committed instructions, branch and "
+              "return prediction rates",
+        headers=["bench", "insts (paper, mil.)", "insts (sim)",
+                 "br. pred % (paper)", "br. pred % (sim)",
+                 "ret. pred % (paper)", "ret. pred % (sim)"],
+    )
+    for name, spec in all_workloads().items():
+        stats = runner.run(name, BASE)
+        report.add_row(
+            name,
+            spec.paper.inst_count_millions,
+            stats.committed,
+            spec.paper.branch_pred_rate,
+            100.0 * stats.branch_prediction_rate,
+            spec.paper.return_pred_rate,
+            100.0 * stats.return_prediction_rate,
+        )
+    report.add_note("paper counts are over 200M-cycle SimpleScalar runs; "
+                    "simulated counts use this harness's reduced window")
+    return report

@@ -1,0 +1,36 @@
+"""Table 3: IR reuse rates and VP prediction/misprediction rates."""
+
+from __future__ import annotations
+
+from ..metrics.report import Report
+from ..workloads import all_workloads
+from .configs import IR_EARLY, vp_lvp, vp_magic
+from .runner import ExperimentRunner
+
+
+def run(runner: ExperimentRunner) -> Report:
+    report = Report(
+        title="Table 3: percentage IR and VP rates "
+              "(result % over dynamic insts, address % over memory ops)",
+        headers=["bench",
+                 "IR res (paper)", "IR res", "IR addr (paper)", "IR addr",
+                 "VPM res (paper)", "VPM res", "VPM res mis",
+                 "VPM addr (paper)", "VPM addr",
+                 "LVP res (paper)", "LVP res", "LVP res mis"],
+    )
+    for name, spec in all_workloads().items():
+        ir = runner.run(name, IR_EARLY)
+        magic = runner.run(name, vp_magic())
+        lvp = runner.run(name, vp_lvp())
+        paper = spec.paper
+        report.add_row(
+            name,
+            paper.ir_result_rate, 100.0 * ir.ir_result_rate,
+            paper.ir_addr_rate, 100.0 * ir.ir_addr_rate,
+            paper.vp_magic_result_rate, 100.0 * magic.vp_result_rate,
+            100.0 * magic.vp_result_misp_rate,
+            paper.vp_magic_addr_rate, 100.0 * magic.vp_addr_rate,
+            paper.vp_lvp_result_rate, 100.0 * lvp.vp_result_rate,
+            100.0 * lvp.vp_result_misp_rate,
+        )
+    return report

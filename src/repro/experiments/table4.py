@@ -1,0 +1,43 @@
+"""Table 4: % increase in branch squashes from spurious mispredictions.
+
+Only the SB configurations are shown — under NSB branches resolve with
+non-speculative operands, so the squash count is unaffected (Sec 4.2.2).
+"""
+
+from __future__ import annotations
+
+from ..metrics.stats import SimStats
+from ..metrics.report import Report
+from ..uarch.config import BranchPolicy, ReexecPolicy
+from ..workloads import all_workloads
+from .configs import BASE, vp_lvp, vp_magic
+from .runner import ExperimentRunner
+
+
+def _increase(stats: SimStats, base: SimStats) -> float:
+    if base.branch_squashes == 0:
+        return 0.0
+    delta = stats.branch_squashes - base.branch_squashes
+    return 100.0 * delta / base.branch_squashes
+
+
+def run(runner: ExperimentRunner) -> Report:
+    report = Report(
+        title="Table 4: % increase in branch squashes due to value "
+              "misprediction (SB configurations)",
+        headers=["bench", "VPM ME-SB", "VPM NME-SB",
+                 "LVP ME-SB", "LVP NME-SB"],
+    )
+    for name in all_workloads():
+        base = runner.run(name, BASE)
+        report.add_row(
+            name,
+            _increase(runner.run(name, vp_magic(ReexecPolicy.MULTIPLE)),
+                      base),
+            _increase(runner.run(name, vp_magic(ReexecPolicy.SINGLE)), base),
+            _increase(runner.run(name, vp_lvp(ReexecPolicy.MULTIPLE)), base),
+            _increase(runner.run(name, vp_lvp(ReexecPolicy.SINGLE)), base),
+        )
+    report.add_note("paper reports e.g. go +20.0/+17.1 (VPM), "
+                    "vortex +164.5 (LVP ME-SB); expect LVP >> VPM")
+    return report

@@ -1,0 +1,32 @@
+"""Table 5: wrong-path work squashed, and how much IR recovers."""
+
+from __future__ import annotations
+
+from ..metrics.report import Report
+from ..workloads import all_workloads
+from .configs import IR_EARLY
+from .runner import ExperimentRunner
+
+
+def run(runner: ExperimentRunner) -> Report:
+    report = Report(
+        title="Table 5: executed instructions squashed by branch "
+              "mispredictions, and % recovered through the reuse buffer",
+        headers=["bench", "insts executed", "squashed (% of executed)",
+                 "recovered (% of squashed)", "paper recovered %"],
+    )
+    paper_recovered = {"go": 36.6, "m88ksim": 53.9, "ijpeg": 49.4,
+                       "perl": 33.8, "vortex": 29.8, "gcc": 35.3,
+                       "compress": 27.7}
+    for name in all_workloads():
+        stats = runner.run(name, IR_EARLY)
+        report.add_row(
+            name,
+            stats.executed_instructions,
+            100.0 * stats.squashed_executed_fraction,
+            100.0 * stats.recovered_fraction,
+            paper_recovered[name],
+        )
+    report.add_note("paper: >30% of squashed executed instructions "
+                    "recovered for most benchmarks")
+    return report

@@ -1,0 +1,44 @@
+"""Table 6: how many times dynamic instructions execute under VP.
+
+Measured on VP_Magic ME-SB with 1-cycle verification latency, as in the
+paper.  The expectation: very few instructions execute more than twice,
+which is why NME (restricting re-execution) barely matters.
+"""
+
+from __future__ import annotations
+
+from ..metrics.report import Report
+from ..uarch.config import BranchPolicy, ReexecPolicy
+from ..workloads import all_workloads
+from .configs import vp_magic
+from .runner import ExperimentRunner
+
+_PAPER = {"go": (94.4, 4.9, 0.7), "m88ksim": (97.6, 2.3, 0.1),
+          "ijpeg": (98.9, 1.0, 0.1), "perl": (98.3, 1.6, 0.2),
+          "vortex": (98.5, 1.5, 0.0), "gcc": (96.3, 3.3, 0.4),
+          "compress": (99.6, 0.4, 0.0)}
+
+
+def run(runner: ExperimentRunner) -> Report:
+    config = vp_magic(ReexecPolicy.MULTIPLE, BranchPolicy.SPECULATIVE,
+                      verify_latency=1)
+    report = Report(
+        title="Table 6: % of dynamic instructions executed once / twice / "
+              "three+ times (VP_Magic ME-SB, 1-cycle verification)",
+        headers=["bench", "x1", "x2", "x3+",
+                 "paper x1", "paper x2", "paper x3"],
+    )
+    for name in all_workloads():
+        stats = runner.run(name, config)
+        total = sum(stats.exec_count_histogram.values())
+        once = stats.exec_count_fraction(1)
+        twice = stats.exec_count_fraction(2)
+        more = (sum(count for times, count
+                    in stats.exec_count_histogram.items() if times >= 3)
+                / total) if total else 0.0
+        paper = _PAPER[name]
+        report.add_row(name, 100.0 * once, 100.0 * twice, 100.0 * more,
+                       *paper)
+    report.add_note("expectation: <0.5%% executed three or more times for "
+                    "most benchmarks, so NME gains little")
+    return report

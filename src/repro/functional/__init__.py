@@ -1,0 +1,19 @@
+"""Functional (in-order, untimed) simulation of the ISA."""
+
+from .memory import Memory
+from .simulator import (
+    ArchState,
+    ExecOutcome,
+    FunctionalSimulator,
+    SimulationError,
+    execute,
+)
+
+__all__ = [
+    "Memory",
+    "ArchState",
+    "ExecOutcome",
+    "FunctionalSimulator",
+    "SimulationError",
+    "execute",
+]

@@ -1,0 +1,192 @@
+"""In-order functional simulator and shared execution semantics.
+
+The function :func:`execute` is the single place in the codebase where
+instruction semantics are applied to a machine state.  The functional
+simulator drives it against architectural state; the out-of-order timing
+core drives it against speculative (checkpointed) state at dispatch, which
+is the same structure SimpleScalar's ``sim-outorder`` uses and is what lets
+the timing model run wrong paths with real data values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import (
+    NUM_REGS,
+    REG_RA,
+    REG_SP,
+    REG_ZERO,
+    div_hi_lo,
+    mult_hi_lo,
+    u32,
+)
+from ..isa.program import Program, STACK_TOP
+from .memory import Memory
+
+
+class SimulationError(Exception):
+    """Raised when execution leaves the program (bad PC) or misbehaves."""
+
+
+@dataclass
+class ExecOutcome:
+    """Everything one dynamic instruction did: the unit of observation.
+
+    The redundancy limit study, the reuse buffer, the value predictor and
+    the commit-time verifier all consume these records.
+    """
+
+    inst: Instruction
+    operand_a: int
+    operand_b: int
+    next_pc: int
+    result: Optional[int] = None  # dest value (LO for mult/div, load data)
+    result_hi: Optional[int] = None  # HI for mult/div
+    writes: Tuple[Tuple[int, int], ...] = ()
+    mem_addr: Optional[int] = None
+    mem_value: Optional[int] = None
+    taken: Optional[bool] = None
+
+    @property
+    def pc(self) -> int:
+        return self.inst.pc
+
+
+class StateProtocol:
+    """Duck-typed interface :func:`execute` needs (documentation only)."""
+
+    def read_reg(self, reg: int) -> int: ...
+    def write_reg(self, reg: int, value: int) -> None: ...
+    def read_mem(self, address: int, nbytes: int, signed: bool) -> int: ...
+    def write_mem(self, address: int, value: int, nbytes: int) -> None: ...
+
+
+def execute(inst: Instruction, state) -> ExecOutcome:
+    """Apply *inst* to *state* and return the full outcome record."""
+    op = inst.opcode
+    a, b = inst.operand_values(state.read_reg)
+    writes: List[Tuple[int, int]] = []
+    outcome = ExecOutcome(inst, a, b, inst.next_pc)
+
+    if op.op_class.name == "NOP":
+        pass  # nop and halt produce nothing; halt is handled by the caller
+    elif op.is_branch:
+        outcome.taken = bool(op.eval_fn(a, b, inst.imm))
+        if outcome.taken:
+            outcome.next_pc = inst.target
+    elif op.is_jump:
+        outcome.next_pc = a if op.is_indirect else inst.target
+        if op.is_call:
+            outcome.result = u32(inst.next_pc)
+            writes.append((REG_RA, outcome.result))
+    elif op.is_load:
+        outcome.mem_addr = u32(a + inst.imm)
+        outcome.result = state.read_mem(outcome.mem_addr, op.mem_bytes,
+                                        op.mem_signed)
+        outcome.mem_value = outcome.result
+        writes.append((inst.rd, outcome.result))
+    elif op.is_store:
+        outcome.mem_addr = u32(a + inst.imm)
+        outcome.mem_value = u32(b)
+        state.write_mem(outcome.mem_addr, b, op.mem_bytes)
+    elif op.writes_hi_lo:
+        pair = mult_hi_lo(a, b) if op.name == "mult" else div_hi_lo(a, b)
+        outcome.result_hi, outcome.result = pair
+        writes.append((inst.dest_regs[0], outcome.result_hi))
+        writes.append((inst.dest_regs[1], outcome.result))
+    else:
+        outcome.result = u32(op.eval_fn(a, b, inst.imm))
+        if inst.dest_regs:
+            writes.append((inst.dest_regs[0], outcome.result))
+
+    for reg, value in writes:
+        if reg != REG_ZERO:
+            state.write_reg(reg, value)
+    outcome.writes = tuple((r, v) for r, v in writes if r != REG_ZERO)
+    return outcome
+
+
+class ArchState:
+    """Architectural register file + memory, directly executable."""
+
+    __slots__ = ("regs", "memory", "pc")
+
+    def __init__(self, program: Program):
+        self.regs: List[int] = [0] * NUM_REGS
+        self.regs[REG_SP] = STACK_TOP
+        self.memory = Memory(program.data)
+        self.pc = program.entry_point
+
+    def read_reg(self, reg: int) -> int:
+        return self.regs[reg]
+
+    def write_reg(self, reg: int, value: int) -> None:
+        if reg != REG_ZERO:
+            self.regs[reg] = u32(value)
+
+    def read_mem(self, address: int, nbytes: int, signed: bool) -> int:
+        return self.memory.read(address, nbytes, signed)
+
+    def write_mem(self, address: int, value: int, nbytes: int) -> None:
+        self.memory.write(address, value, nbytes)
+
+
+class FunctionalSimulator:
+    """Executes a program one instruction at a time, in program order.
+
+    Used directly for the limit studies (Figures 8-10), for fast-forwarding
+    past initialisation (the paper skips 1-2.5 billion instructions), and as
+    the ground truth in differential tests of the timing core.
+    """
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.state = ArchState(program)
+        self.halted = False
+        self.instructions_retired = 0
+
+    @property
+    def pc(self) -> int:
+        return self.state.pc
+
+    def step(self) -> ExecOutcome:
+        """Execute one instruction; raises on bad PCs, sets ``halted``."""
+        if self.halted:
+            raise SimulationError("stepping a halted simulator")
+        inst = self.program.fetch(self.state.pc)
+        if inst is None:
+            raise SimulationError(f"no instruction at pc={self.state.pc:#x}")
+        outcome = execute(inst, self.state)
+        if inst.opcode.is_halt:
+            self.halted = True
+            outcome.next_pc = inst.pc
+        self.state.pc = outcome.next_pc
+        self.instructions_retired += 1
+        return outcome
+
+    def run(self, max_instructions: Optional[int] = None) -> int:
+        """Run until halt or *max_instructions*; returns instructions run."""
+        executed = 0
+        while not self.halted:
+            if max_instructions is not None and executed >= max_instructions:
+                break
+            self.step()
+            executed += 1
+        return executed
+
+    def stream(self, max_instructions: Optional[int] = None
+               ) -> Iterator[ExecOutcome]:
+        """Yield :class:`ExecOutcome` records until halt or the limit."""
+        executed = 0
+        while not self.halted:
+            if max_instructions is not None and executed >= max_instructions:
+                return
+            yield self.step()
+            executed += 1
+
+    def skip(self, count: int) -> int:
+        """Fast-forward *count* instructions (the paper's warm-up skip)."""
+        return self.run(max_instructions=count)

@@ -1,0 +1,53 @@
+"""MIPS-like integer ISA: opcodes, instructions, assembler, programs."""
+
+from .assembler import Assembler, AssemblyError, assemble
+from .disassembler import disassemble, disassemble_instruction, \
+    instruction_histogram
+from .instruction import INSTRUCTION_BYTES, Instruction, format_instruction
+from .opcodes import (
+    NUM_GPRS,
+    NUM_REGS,
+    OpClass,
+    Opcode,
+    REG_HI,
+    REG_LO,
+    REG_RA,
+    REG_SP,
+    REG_ZERO,
+    all_opcodes,
+    lookup,
+    parse_register,
+    s32,
+    u32,
+)
+from .program import DATA_BASE, Program, STACK_TOP, TEXT_BASE
+
+__all__ = [
+    "Assembler",
+    "AssemblyError",
+    "assemble",
+    "disassemble",
+    "disassemble_instruction",
+    "instruction_histogram",
+    "INSTRUCTION_BYTES",
+    "Instruction",
+    "format_instruction",
+    "NUM_GPRS",
+    "NUM_REGS",
+    "OpClass",
+    "Opcode",
+    "REG_HI",
+    "REG_LO",
+    "REG_RA",
+    "REG_SP",
+    "REG_ZERO",
+    "all_opcodes",
+    "lookup",
+    "parse_register",
+    "s32",
+    "u32",
+    "DATA_BASE",
+    "Program",
+    "STACK_TOP",
+    "TEXT_BASE",
+]

@@ -1,0 +1,399 @@
+"""A small two-pass assembler for the MIPS-like ISA.
+
+The assembler exists so the SPECint95-analog workloads can be written as
+readable assembly text.  It supports:
+
+* ``.text`` / ``.data`` sections (with optional origin addresses),
+* data directives: ``.word``, ``.half``, ``.byte``, ``.float``,
+  ``.space``, ``.align``, ``.ascii`` and ``.asciiz`` (label references
+  allowed inside ``.word``),
+* labels (standalone or inline), decimal / hex / character literals,
+* pseudo-instructions: ``li``, ``la``, ``li.s``, ``move``, ``b``,
+  ``beqz``, ``bnez``, ``mul``/``rem`` (three-operand multiply/remainder
+  expanding to ``mult``/``div`` + ``mflo``/``mfhi``), and three-operand
+  ``div``.
+
+Unlike a real assembler there is no binary encoding: pass one sizes
+everything and records label addresses, pass two builds decoded
+:class:`~repro.isa.instruction.Instruction` objects directly.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from .instruction import INSTRUCTION_BYTES, Instruction
+from .opcodes import Format, Opcode, lookup, parse_register, u32
+from .program import DATA_BASE, Program, TEXT_BASE
+
+
+class AssemblyError(Exception):
+    """Raised for any syntax or semantic error in assembly source."""
+
+    def __init__(self, message: str, line_number: int = 0, line: str = ""):
+        location = f"line {line_number}: " if line_number else ""
+        suffix = f"  [{line.strip()}]" if line else ""
+        super().__init__(f"{location}{message}{suffix}")
+        self.line_number = line_number
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*)\s*:\s*(.*)$")
+_MEM_OPERAND_RE = re.compile(r"^(-?\w+)\s*\(\s*(\$?\w+)\s*\)$")
+
+
+def _strip_comment(line: str) -> str:
+    in_string = False
+    for index, char in enumerate(line):
+        if char == '"':
+            in_string = not in_string
+        elif char in "#;" and not in_string:
+            return line[:index]
+    return line
+
+
+def _split_operands(text: str) -> List[str]:
+    operands: List[str] = []
+    depth = 0
+    in_string = False
+    current = ""
+    for char in text:
+        if char == '"':
+            in_string = not in_string
+            current += char
+        elif char == "(" and not in_string:
+            depth += 1
+            current += char
+        elif char == ")" and not in_string:
+            depth -= 1
+            current += char
+        elif char == "," and depth == 0 and not in_string:
+            operands.append(current.strip())
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        operands.append(current.strip())
+    return operands
+
+
+@dataclass
+class _Statement:
+    """One parsed source statement (instruction or data directive)."""
+
+    mnemonic: str
+    operands: List[str]
+    line_number: int
+    line: str
+    address: int = 0
+
+
+class Assembler:
+    """Two-pass assembler producing a :class:`Program`."""
+
+    def __init__(self, text_base: int = TEXT_BASE, data_base: int = DATA_BASE):
+        self.text_base = text_base
+        self.data_base = data_base
+
+    # -- public API -----------------------------------------------------------
+
+    def assemble(self, source: str) -> Program:
+        """Assemble *source* text into a :class:`Program`."""
+        text_stmts, data_stmts, symbols = self._first_pass(source)
+        program = Program(entry_point=self.text_base, symbols=symbols,
+                          source=source)
+        for stmt in data_stmts:
+            self._emit_data(stmt, symbols, program)
+        for stmt in text_stmts:
+            self._emit_instruction(stmt, symbols, program)
+        if "main" in symbols:
+            program.entry_point = symbols["main"]
+        return program
+
+    # -- pass one: layout and symbols -----------------------------------------
+
+    def _first_pass(self, source: str):
+        symbols: Dict[str, int] = {}
+        text_stmts: List[_Statement] = []
+        data_stmts: List[_Statement] = []
+        section = "text"
+        text_pc = self.text_base
+        data_pc = self.data_base
+
+        for line_number, raw_line in enumerate(source.splitlines(), start=1):
+            line = _strip_comment(raw_line).strip()
+            while line:
+                match = _LABEL_RE.match(line)
+                if match and not line.startswith("."):
+                    label, line = match.group(1), match.group(2).strip()
+                    if label in symbols:
+                        raise AssemblyError(f"duplicate label {label!r}",
+                                            line_number, raw_line)
+                    symbols[label] = text_pc if section == "text" else data_pc
+                    continue
+                break
+            if not line:
+                continue
+
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            operand_text = parts[1] if len(parts) > 1 else ""
+            stmt = _Statement(mnemonic, _split_operands(operand_text),
+                              line_number, raw_line)
+
+            if mnemonic == ".text":
+                section = "text"
+                if stmt.operands:
+                    text_pc = _parse_int(stmt.operands[0])
+                continue
+            if mnemonic == ".data":
+                section = "data"
+                if stmt.operands:
+                    data_pc = _parse_int(stmt.operands[0])
+                continue
+
+            if section == "data":
+                stmt.address = data_pc
+                data_pc += self._data_size(stmt, data_pc)
+                data_stmts.append(stmt)
+            else:
+                stmt.address = text_pc
+                text_pc += INSTRUCTION_BYTES * self._instruction_count(stmt)
+                text_stmts.append(stmt)
+        return text_stmts, data_stmts, symbols
+
+    def _data_size(self, stmt: _Statement, address: int) -> int:
+        directive = stmt.mnemonic
+        if directive in (".word", ".float"):
+            return 4 * len(stmt.operands)
+        if directive == ".half":
+            return 2 * len(stmt.operands)
+        if directive == ".byte":
+            return len(stmt.operands)
+        if directive == ".space":
+            return _parse_int(stmt.operands[0])
+        if directive == ".align":
+            alignment = 1 << _parse_int(stmt.operands[0])
+            return (-address) % alignment
+        if directive in (".ascii", ".asciiz"):
+            text = _parse_string(stmt.operands[0], stmt)
+            return len(text) + (1 if directive == ".asciiz" else 0)
+        raise AssemblyError(f"unknown data directive {directive!r}",
+                            stmt.line_number, stmt.line)
+
+    def _instruction_count(self, stmt: _Statement) -> int:
+        if stmt.mnemonic in ("mul", "rem", "li.s"):
+            return 2
+        if stmt.mnemonic == "div" and len(stmt.operands) == 3:
+            return 2
+        return 1
+
+    # -- pass two: emission ----------------------------------------------------
+
+    def _emit_data(self, stmt: _Statement, symbols: Dict[str, int],
+                   program: Program) -> None:
+        directive, address = stmt.mnemonic, stmt.address
+
+        def put(value: int, nbytes: int) -> None:
+            nonlocal address
+            value = u32(value)
+            for offset in range(nbytes):
+                program.data[address + offset] = (value >> (8 * offset)) & 0xFF
+            address += nbytes
+
+        if directive == ".word":
+            for operand in stmt.operands:
+                put(self._value(operand, symbols, stmt), 4)
+        elif directive == ".float":
+            from .opcodes import float_to_bits
+            for operand in stmt.operands:
+                put(float_to_bits(float(operand)), 4)
+        elif directive == ".half":
+            for operand in stmt.operands:
+                put(self._value(operand, symbols, stmt), 2)
+        elif directive == ".byte":
+            for operand in stmt.operands:
+                put(self._value(operand, symbols, stmt), 1)
+        elif directive == ".space":
+            for _ in range(_parse_int(stmt.operands[0])):
+                put(0, 1)
+        elif directive == ".align":
+            pass  # only affects layout, done in pass one
+        elif directive in (".ascii", ".asciiz"):
+            text = _parse_string(stmt.operands[0], stmt)
+            for char in text.encode("latin-1"):
+                put(char, 1)
+            if directive == ".asciiz":
+                put(0, 1)
+
+    def _emit_instruction(self, stmt: _Statement, symbols: Dict[str, int],
+                          program: Program) -> None:
+        for inst in self._expand(stmt, symbols):
+            if inst.pc in program.instructions:
+                raise AssemblyError(f"text overlap at {inst.pc:#x}",
+                                    stmt.line_number, stmt.line)
+            program.instructions[inst.pc] = inst
+
+    def _expand(self, stmt: _Statement,
+                symbols: Dict[str, int]) -> Iterable[Instruction]:
+        name, ops, pc = stmt.mnemonic, stmt.operands, stmt.address
+
+        def value(token: str) -> int:
+            return self._value(token, symbols, stmt)
+
+        def reg(token: str) -> int:
+            try:
+                return parse_register(token)
+            except ValueError as exc:
+                raise AssemblyError(str(exc), stmt.line_number, stmt.line)
+
+        # Pseudo-instructions first.
+        if name in ("li", "la"):
+            _expect(stmt, len(ops) == 2)
+            yield Instruction(pc, lookup("ori"), rd=reg(ops[0]),
+                              rs=0, imm=u32(value(ops[1])))
+            return
+        if name == "li.s":
+            _expect(stmt, len(ops) == 2)
+            from .opcodes import float_to_bits
+            bits = float_to_bits(float(ops[1]))
+            yield Instruction(pc, lookup("ori"), rd=1, rs=0, imm=bits)
+            yield Instruction(pc + INSTRUCTION_BYTES, lookup("mtc1"),
+                              rd=reg(ops[0]), rs=1)
+            return
+        if name == "move":
+            _expect(stmt, len(ops) == 2)
+            yield Instruction(pc, lookup("addu"), rd=reg(ops[0]),
+                              rs=reg(ops[1]), rt=0)
+            return
+        if name == "b":
+            _expect(stmt, len(ops) == 1)
+            yield Instruction(pc, lookup("beq"), rs=0, rt=0,
+                              target=value(ops[0]))
+            return
+        if name in ("beqz", "bnez"):
+            _expect(stmt, len(ops) == 2)
+            real = "beq" if name == "beqz" else "bne"
+            yield Instruction(pc, lookup(real), rs=reg(ops[0]), rt=0,
+                              target=value(ops[1]))
+            return
+        if name in ("mul", "rem") or (name == "div" and len(ops) == 3):
+            _expect(stmt, len(ops) == 3)
+            lo_op = "mult" if name == "mul" else "div"
+            move_op = "mfhi" if name == "rem" else "mflo"
+            yield Instruction(pc, lookup(lo_op), rs=reg(ops[1]),
+                              rt=reg(ops[2]))
+            yield Instruction(pc + INSTRUCTION_BYTES, lookup(move_op),
+                              rd=reg(ops[0]))
+            return
+
+        try:
+            opcode = lookup(name)
+        except KeyError:
+            raise AssemblyError(f"unknown mnemonic {name!r}",
+                                stmt.line_number, stmt.line)
+        yield self._build(opcode, ops, pc, reg, value, stmt)
+
+    def _build(self, opcode: Opcode, ops: List[str], pc: int, reg, value,
+               stmt: _Statement) -> Instruction:
+        fmt = opcode.fmt
+        if fmt == Format.RRR:
+            _expect(stmt, len(ops) == 3)
+            return Instruction(pc, opcode, rd=reg(ops[0]), rs=reg(ops[1]),
+                               rt=reg(ops[2]))
+        if fmt == Format.RRI:
+            _expect(stmt, len(ops) == 3)
+            return Instruction(pc, opcode, rd=reg(ops[0]), rs=reg(ops[1]),
+                               imm=value(ops[2]))
+        if fmt == Format.RI:
+            _expect(stmt, len(ops) == 2)
+            return Instruction(pc, opcode, rd=reg(ops[0]), imm=value(ops[1]))
+        if fmt == Format.RR:
+            _expect(stmt, len(ops) == 2)
+            return Instruction(pc, opcode, rs=reg(ops[0]), rt=reg(ops[1]))
+        if fmt == Format.RR2:
+            _expect(stmt, len(ops) == 2)
+            return Instruction(pc, opcode, rd=reg(ops[0]), rs=reg(ops[1]))
+        if fmt == Format.BRANCH0:
+            _expect(stmt, len(ops) == 1)
+            return Instruction(pc, opcode, target=value(ops[0]))
+        if fmt == Format.R:
+            _expect(stmt, len(ops) == 1)
+            if opcode.is_indirect:
+                return Instruction(pc, opcode, rs=reg(ops[0]))
+            return Instruction(pc, opcode, rd=reg(ops[0]))
+        if fmt == Format.MEM:
+            _expect(stmt, len(ops) == 2)
+            match = _MEM_OPERAND_RE.match(ops[1])
+            if match:
+                displacement, base = match.group(1), match.group(2)
+                return Instruction(pc, opcode, rd=reg(ops[0]),
+                                   rs=reg(base), imm=value(displacement))
+            # Bare-label form: lw $t0, label  (absolute addressing off $zero).
+            return Instruction(pc, opcode, rd=reg(ops[0]), rs=0,
+                               imm=value(ops[1]))
+        if fmt == Format.BRANCH2:
+            _expect(stmt, len(ops) == 3)
+            return Instruction(pc, opcode, rs=reg(ops[0]), rt=reg(ops[1]),
+                               target=value(ops[2]))
+        if fmt == Format.BRANCH1:
+            _expect(stmt, len(ops) == 2)
+            return Instruction(pc, opcode, rs=reg(ops[0]),
+                               target=value(ops[1]))
+        if fmt == Format.JUMP:
+            _expect(stmt, len(ops) == 1)
+            return Instruction(pc, opcode, target=value(ops[0]))
+        _expect(stmt, len(ops) == 0)
+        return Instruction(pc, opcode)
+
+    def _value(self, token: str, symbols: Dict[str, int],
+               stmt: _Statement) -> int:
+        token = token.strip()
+        try:
+            return _parse_int(token)
+        except ValueError:
+            pass
+        # Allow simple label+offset arithmetic: "table+4".
+        for operator in "+-":
+            split_at = token.rfind(operator)
+            if split_at > 0:
+                base, offset = token[:split_at].strip(), token[split_at:]
+                if base in symbols:
+                    try:
+                        return symbols[base] + _parse_int(offset)
+                    except ValueError:
+                        pass
+        if token in symbols:
+            return symbols[token]
+        raise AssemblyError(f"undefined symbol {token!r}", stmt.line_number,
+                            stmt.line)
+
+
+def _expect(stmt: _Statement, condition: bool) -> None:
+    if not condition:
+        raise AssemblyError(
+            f"bad operand count for {stmt.mnemonic!r}", stmt.line_number,
+            stmt.line)
+
+
+def _parse_int(token: str) -> int:
+    token = token.strip()
+    if len(token) == 3 and token[0] == token[2] == "'":
+        return ord(token[1])
+    return int(token, 0)
+
+
+def _parse_string(token: str, stmt: _Statement) -> str:
+    token = token.strip()
+    if len(token) < 2 or token[0] != '"' or token[-1] != '"':
+        raise AssemblyError("malformed string literal", stmt.line_number,
+                            stmt.line)
+    return token[1:-1].replace("\\n", "\n").replace("\\t", "\t").replace(
+        "\\0", "\0")
+
+
+def assemble(source: str, text_base: int = TEXT_BASE,
+             data_base: int = DATA_BASE) -> Program:
+    """Convenience wrapper: assemble *source* with default bases."""
+    return Assembler(text_base=text_base, data_base=data_base).assemble(source)

@@ -1,0 +1,68 @@
+"""Program listings: disassemble programs back to annotated text.
+
+The assembler produces decoded instructions directly, so "disassembly"
+here means rendering a :class:`Program` as a readable listing — with
+addresses, reconstructed label names, and data-section summaries — for
+debugging workloads and inspecting what the generator produced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .instruction import Instruction, format_instruction
+from .program import Program
+
+
+def _label_map(program: Program) -> Dict[int, str]:
+    return {address: name for name, address in program.symbols.items()}
+
+
+def disassemble_instruction(inst: Instruction,
+                            labels: Optional[Dict[int, str]] = None) -> str:
+    """One listing line: address, text, and the jump target's label."""
+    text = format_instruction(inst)
+    if labels and (inst.opcode.is_control and not inst.opcode.is_indirect):
+        name = labels.get(inst.target)
+        if name:
+            text += f"    <{name}>"
+    return f"{inst.pc:#010x}  {text}"
+
+
+def disassemble(program: Program, with_data: bool = True) -> str:
+    """Full listing of *program*: text section plus a data summary."""
+    labels = _label_map(program)
+    lines: List[str] = [".text"]
+    for inst in program.instruction_list():
+        name = labels.get(inst.pc)
+        if name:
+            lines.append(f"{name}:")
+        lines.append("    " + disassemble_instruction(inst, labels))
+    if with_data and program.data:
+        lines.append("")
+        lines.append(".data")
+        addresses = sorted(program.data)
+        # group contiguous byte runs
+        start = addresses[0]
+        previous = start - 1
+        for address in addresses + [None]:
+            if address is not None and address == previous + 1:
+                previous = address
+                continue
+            length = previous - start + 1
+            label = labels.get(start, "")
+            tag = f" <{label}>" if label else ""
+            lines.append(f"    {start:#010x}  {length} bytes{tag}")
+            if address is not None:
+                start = address
+                previous = address
+    return "\n".join(lines)
+
+
+def instruction_histogram(program: Program) -> Dict[str, int]:
+    """Static opcode mix of *program* (diagnostics for workload tuning)."""
+    histogram: Dict[str, int] = {}
+    for inst in program.instruction_list():
+        name = inst.opcode.name
+        histogram[name] = histogram.get(name, 0) + 1
+    return histogram

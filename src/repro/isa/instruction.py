@@ -1,0 +1,164 @@
+"""Decoded-instruction representation shared by all simulators.
+
+An :class:`Instruction` is a fully decoded static instruction: the assembler
+produces one per program location, and both the functional and timing
+simulators interpret it directly (there is no binary encode/decode round
+trip — the paper's effects do not depend on instruction encodings).
+
+Field conventions (normalised by the assembler regardless of the
+assembly-level operand order):
+
+* ``rd``  — destination register (or store-data register for stores),
+* ``rs``  — first source register (base register for memory ops),
+* ``rt``  — second source register,
+* ``imm`` — sign-extended immediate / shift amount / memory displacement,
+* ``target`` — absolute target address for direct control transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .opcodes import (
+    Format,
+    Opcode,
+    REG_FCC,
+    REG_HI,
+    REG_LO,
+    REG_RA,
+    REG_ZERO,
+    REGISTER_NAMES,
+)
+
+INSTRUCTION_BYTES = 4
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded static instruction at a fixed program counter.
+
+    ``src_regs`` and ``dest_regs`` are decoded once at construction (the
+    simulators consult them on every dynamic instance, so they are hot).
+    """
+
+    pc: int
+    opcode: Opcode
+    rd: int = 0
+    rs: int = 0
+    rt: int = 0
+    imm: int = 0
+    target: int = 0
+    src_regs: Tuple[int, ...] = ()
+    dest_regs: Tuple[int, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "src_regs", self._decode_src_regs())
+        object.__setattr__(self, "dest_regs", self._decode_dest_regs())
+
+    @property
+    def next_pc(self) -> int:
+        return self.pc + INSTRUCTION_BYTES
+
+    def _decode_src_regs(self) -> Tuple[int, ...]:
+        """Architectural registers this instruction reads (r0 excluded)."""
+        op = self.opcode
+        srcs: Tuple[int, ...]
+        if op.name == "mfhi":
+            srcs = (REG_HI,)
+        elif op.name == "mflo":
+            srcs = (REG_LO,)
+        elif op.fmt in (Format.RRR, Format.RR, Format.BRANCH2):
+            srcs = (self.rs, self.rt)
+        elif op.fmt in (Format.RRI, Format.BRANCH1, Format.RR2):
+            srcs = (self.rs,)
+        elif op.fmt == Format.BRANCH0:
+            srcs = (REG_FCC,)
+        elif op.fmt == Format.MEM:
+            srcs = (self.rs, self.rd) if op.is_store else (self.rs,)
+        elif op.is_indirect:
+            srcs = (self.rs,)
+        else:
+            srcs = ()
+        return tuple(reg for reg in srcs if reg != REG_ZERO)
+
+    def _decode_dest_regs(self) -> Tuple[int, ...]:
+        """Architectural registers this instruction writes (r0 excluded)."""
+        op = self.opcode
+        if op.writes_hi_lo:
+            return (REG_HI, REG_LO)
+        if op.writes_fcc:
+            return (REG_FCC,)
+        if op.is_call:
+            return (REG_RA,)
+        if op.is_store or op.is_branch or op.is_jump \
+                or op.op_class.name == "NOP":
+            return ()
+        return (self.rd,) if self.rd != REG_ZERO else ()
+
+    @property
+    def is_return(self) -> bool:
+        """``jr $ra`` is treated as a procedure return (drives the RAS)."""
+        return self.opcode.name == "jr" and self.rs == REG_RA
+
+    @property
+    def writes_value(self) -> bool:
+        """True when this instruction produces a register result."""
+        return bool(self.dest_regs)
+
+    def operand_values(self, read_reg) -> Tuple[int, int]:
+        """Read the ``(a, b)`` evaluation operands via *read_reg(regnum)*.
+
+        ``a`` is the first source (rs / HI / LO), ``b`` the second (rt, or
+        the store-data register for stores); absent operands read as 0.
+        """
+        srcs = self.src_regs
+        op = self.opcode
+        if op.name in ("mfhi", "mflo"):
+            return read_reg(srcs[0]), 0
+        if op.fmt == Format.BRANCH0:
+            return read_reg(REG_FCC), 0
+        a = read_reg(self.rs)
+        if op.fmt in (Format.RRR, Format.RR, Format.BRANCH2):
+            return a, read_reg(self.rt)
+        if op.is_store:
+            return a, read_reg(self.rd)
+        return a, 0
+
+    def __str__(self) -> str:
+        return f"{self.pc:#x}: {format_instruction(self)}"
+
+
+def _reg(reg: int) -> str:
+    return "$" + REGISTER_NAMES.get(reg, str(reg))
+
+
+def format_instruction(inst: Instruction) -> str:
+    """Render *inst* back into assembly-like text (for traces and debugging)."""
+    op = inst.opcode
+    fmt = op.fmt
+    if fmt == Format.RRR:
+        return f"{op.name} {_reg(inst.rd)}, {_reg(inst.rs)}, {_reg(inst.rt)}"
+    if fmt == Format.RRI:
+        return f"{op.name} {_reg(inst.rd)}, {_reg(inst.rs)}, {inst.imm}"
+    if fmt == Format.RI:
+        return f"{op.name} {_reg(inst.rd)}, {inst.imm}"
+    if fmt == Format.RR:
+        return f"{op.name} {_reg(inst.rs)}, {_reg(inst.rt)}"
+    if fmt == Format.RR2:
+        return f"{op.name} {_reg(inst.rd)}, {_reg(inst.rs)}"
+    if fmt == Format.BRANCH0:
+        return f"{op.name} {inst.target:#x}"
+    if fmt == Format.R:
+        reg = inst.rs if (op.is_indirect or op.is_jump) else inst.rd
+        return f"{op.name} {_reg(reg)}"
+    if fmt == Format.MEM:
+        return f"{op.name} {_reg(inst.rd)}, {inst.imm}({_reg(inst.rs)})"
+    if fmt == Format.BRANCH2:
+        return (f"{op.name} {_reg(inst.rs)}, {_reg(inst.rt)}, "
+                f"{inst.target:#x}")
+    if fmt == Format.BRANCH1:
+        return f"{op.name} {_reg(inst.rs)}, {inst.target:#x}"
+    if fmt == Format.JUMP:
+        return f"{op.name} {inst.target:#x}"
+    return op.name

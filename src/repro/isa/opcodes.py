@@ -1,0 +1,383 @@
+"""Opcode definitions for the MIPS-like integer ISA used by the simulators.
+
+Every opcode carries enough static information for both the functional
+simulator and the out-of-order timing model:
+
+* an ``OpClass`` selecting the functional-unit pool it executes on,
+* execution/issue latencies (Table 1 of the paper),
+* a pure evaluation function over source operand values, which lets the
+  timing core re-evaluate instructions with *speculative* operand values
+  (needed to model value-misprediction propagation faithfully).
+
+Registers are numbered 0..66: the 32 architectural integer registers,
+``HI`` (32) and ``LO`` (33), the 32 single-precision FP registers
+``$f0``..``$f31`` (34..65, holding IEEE-754 bit patterns), and the FP
+condition flag ``$fcc`` (66) — the full "32 integer, hi, lo, 32 floating
+point, fcc" architected state of Table 1.  The seven SPECint95 analog
+workloads are integer-only, matching the paper's evaluation, but the FP
+pipeline (4 FP adders at 2/1, one FP MULT/DIV at 4/1, 12/12 and 24/24
+for sqrt) is fully modelled and covered by tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+MASK32 = 0xFFFFFFFF
+
+NUM_GPRS = 32
+REG_HI = 32
+REG_LO = 33
+# Floating-point architected state (Table 1: "32 floating point, fcc").
+# FP registers hold single-precision IEEE-754 bit patterns in the same
+# integer register array; REG_FCC is the FP condition flag.
+REG_F0 = 34
+NUM_FPRS = 32
+REG_FCC = REG_F0 + NUM_FPRS  # 66
+NUM_REGS = REG_FCC + 1
+
+REG_ZERO = 0
+REG_RA = 31
+REG_SP = 29
+
+
+def u32(value: int) -> int:
+    """Wrap *value* to an unsigned 32-bit integer."""
+    return value & MASK32
+
+
+def s32(value: int) -> int:
+    """Interpret *value* (any Python int) as a signed 32-bit integer."""
+    value &= MASK32
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+class OpClass(enum.Enum):
+    """Functional-unit class an opcode executes on (Table 1)."""
+
+    INT_ALU = "int_alu"
+    LOAD_STORE = "load_store"
+    INT_MULT = "int_mult"
+    INT_DIV = "int_div"
+    BRANCH = "branch"  # executes on an integer ALU
+    FP_ADD = "fp_add"  # 4 units, 2/1
+    FP_MUL_DIV = "fp_mul_div"  # 1 unit: mult 4/1, div 12/12, sqrt 24/24
+    NOP = "nop"
+
+
+class Format(enum.Enum):
+    """Assembly operand formats, used by the assembler and disassembler."""
+
+    RRR = "rd, rs, rt"  # add rd, rs, rt
+    RRI = "rt, rs, imm"  # addi rt, rs, imm
+    RI = "rt, imm"  # lui rt, imm
+    RR = "rs, rt"  # two sources, no GPR dest (mult/div/c.x.s)
+    RR2 = "rd, rs"  # one source, one destination (mov.s, cvt, mtc1...)
+    R = "rd"  # mflo rd / jr rs
+    MEM = "rt, imm(rs)"  # lw rt, 4(rs)
+    BRANCH2 = "rs, rt, label"  # beq rs, rt, label
+    BRANCH1 = "rs, label"  # blez rs, label
+    BRANCH0 = "fcc: label"  # bc1t/bc1f label (reads the FCC flag)
+    JUMP = "label"  # j label
+    NONE = ""  # nop, halt
+
+
+# Evaluation functions take the two source operand *values* (a from rs,
+# b from rt) plus the sign-extended immediate, and return the result value.
+# Branch evaluators return 1 (taken) or 0; memory ops compute the effective
+# address with ``a + imm`` in the core, not here.
+EvalFn = Callable[[int, int, int], int]
+
+
+@dataclass(frozen=True)
+class Opcode:
+    """Static description of one machine operation."""
+
+    name: str
+    fmt: Format
+    op_class: OpClass
+    latency: int = 1  # total execution latency in cycles
+    issue_interval: int = 1  # cycles before the FU accepts another op
+    eval_fn: Optional[EvalFn] = None
+    is_branch: bool = False  # conditional branch
+    is_jump: bool = False  # unconditional control transfer
+    is_indirect: bool = False  # target comes from a register
+    is_call: bool = False  # pushes a return address (writes r31)
+    is_return: bool = False  # jr with rs == r31 is detected separately
+    is_load: bool = False
+    is_store: bool = False
+    mem_bytes: int = 0
+    mem_signed: bool = True
+    writes_hi_lo: bool = False
+    writes_fcc: bool = False
+    is_halt: bool = False
+
+    @property
+    def is_mem(self) -> bool:
+        return self.is_load or self.is_store
+
+    @property
+    def is_control(self) -> bool:
+        return self.is_branch or self.is_jump
+
+
+def _sra(a: int, b: int, imm: int) -> int:
+    return u32(s32(a) >> (b & 31))
+
+
+def _div(a: int, b: int, imm: int) -> int:
+    # LO gets the quotient; HI (remainder) is produced alongside by the core.
+    if s32(b) == 0:
+        return 0
+    quotient = abs(s32(a)) // abs(s32(b))
+    if (s32(a) < 0) != (s32(b) < 0):
+        quotient = -quotient
+    return u32(quotient)
+
+
+def _rem(a: int, b: int) -> int:
+    if s32(b) == 0:
+        return 0
+    remainder = abs(s32(a)) % abs(s32(b))
+    if s32(a) < 0:
+        remainder = -remainder
+    return u32(remainder)
+
+
+def mult_hi_lo(a: int, b: int) -> Tuple[int, int]:
+    """Return the (hi, lo) words of a signed 32x32 multiply."""
+    product = s32(a) * s32(b)
+    return u32(product >> 32), u32(product)
+
+
+def div_hi_lo(a: int, b: int) -> Tuple[int, int]:
+    """Return the (hi=remainder, lo=quotient) of a signed divide."""
+    return _rem(a, b), _div(a, b, 0)
+
+
+_OPCODES: Dict[str, Opcode] = {}
+
+
+def _define(opcode: Opcode) -> Opcode:
+    if opcode.name in _OPCODES:
+        raise ValueError(f"duplicate opcode {opcode.name!r}")
+    _OPCODES[opcode.name] = opcode
+    return opcode
+
+
+def _alu(name: str, fmt: Format, eval_fn: EvalFn, **kwargs) -> Opcode:
+    return _define(Opcode(name, fmt, OpClass.INT_ALU, 1, 1, eval_fn, **kwargs))
+
+
+# --- ALU register-register ---------------------------------------------------
+_alu("add", Format.RRR, lambda a, b, i: u32(a + b))
+_alu("addu", Format.RRR, lambda a, b, i: u32(a + b))
+_alu("sub", Format.RRR, lambda a, b, i: u32(a - b))
+_alu("subu", Format.RRR, lambda a, b, i: u32(a - b))
+_alu("and", Format.RRR, lambda a, b, i: a & b)
+_alu("or", Format.RRR, lambda a, b, i: a | b)
+_alu("xor", Format.RRR, lambda a, b, i: a ^ b)
+_alu("nor", Format.RRR, lambda a, b, i: u32(~(a | b)))
+_alu("slt", Format.RRR, lambda a, b, i: int(s32(a) < s32(b)))
+_alu("sltu", Format.RRR, lambda a, b, i: int(u32(a) < u32(b)))
+_alu("sllv", Format.RRR, lambda a, b, i: u32(a << (b & 31)))
+_alu("srlv", Format.RRR, lambda a, b, i: u32(a) >> (b & 31))
+_alu("srav", Format.RRR, _sra)
+
+# --- ALU register-immediate --------------------------------------------------
+_alu("addi", Format.RRI, lambda a, b, i: u32(a + i))
+_alu("addiu", Format.RRI, lambda a, b, i: u32(a + i))
+_alu("andi", Format.RRI, lambda a, b, i: a & u32(i))
+_alu("ori", Format.RRI, lambda a, b, i: a | u32(i))
+_alu("xori", Format.RRI, lambda a, b, i: a ^ u32(i))
+_alu("slti", Format.RRI, lambda a, b, i: int(s32(a) < i))
+_alu("sltiu", Format.RRI, lambda a, b, i: int(u32(a) < u32(i)))
+_alu("sll", Format.RRI, lambda a, b, i: u32(a << (i & 31)))
+_alu("srl", Format.RRI, lambda a, b, i: u32(a) >> (i & 31))
+_alu("sra", Format.RRI, lambda a, b, i: u32(s32(a) >> (i & 31)))
+_alu("lui", Format.RI, lambda a, b, i: u32(i << 16))
+
+# --- multiply / divide (write HI:LO; read back via mfhi/mflo) -----------------
+_define(Opcode("mult", Format.RR, OpClass.INT_MULT, latency=3, issue_interval=1,
+               eval_fn=lambda a, b, i: mult_hi_lo(a, b)[1], writes_hi_lo=True))
+_define(Opcode("div", Format.RR, OpClass.INT_DIV, latency=20, issue_interval=19,
+               eval_fn=_div, writes_hi_lo=True))
+_alu("mfhi", Format.R, lambda a, b, i: a)
+_alu("mflo", Format.R, lambda a, b, i: a)
+
+# --- memory -------------------------------------------------------------------
+
+
+def _mem(name: str, is_load: bool, nbytes: int, signed: bool = True) -> Opcode:
+    return _define(Opcode(
+        name, Format.MEM, OpClass.LOAD_STORE, latency=1, issue_interval=1,
+        eval_fn=lambda a, b, i: u32(a + i),  # effective address
+        is_load=is_load, is_store=not is_load,
+        mem_bytes=nbytes, mem_signed=signed,
+    ))
+
+
+_mem("lw", True, 4)
+_mem("lh", True, 2, signed=True)
+_mem("lhu", True, 2, signed=False)
+_mem("lb", True, 1, signed=True)
+_mem("lbu", True, 1, signed=False)
+_mem("sw", False, 4)
+_mem("sh", False, 2)
+_mem("sb", False, 1)
+
+# --- control ------------------------------------------------------------------
+
+
+def _branch(name: str, fmt: Format, eval_fn: EvalFn) -> Opcode:
+    return _define(Opcode(name, fmt, OpClass.BRANCH, 1, 1, eval_fn,
+                          is_branch=True))
+
+
+_branch("beq", Format.BRANCH2, lambda a, b, i: int(a == b))
+_branch("bne", Format.BRANCH2, lambda a, b, i: int(a != b))
+_branch("blt", Format.BRANCH2, lambda a, b, i: int(s32(a) < s32(b)))
+_branch("bge", Format.BRANCH2, lambda a, b, i: int(s32(a) >= s32(b)))
+_branch("blez", Format.BRANCH1, lambda a, b, i: int(s32(a) <= 0))
+_branch("bgtz", Format.BRANCH1, lambda a, b, i: int(s32(a) > 0))
+_branch("bltz", Format.BRANCH1, lambda a, b, i: int(s32(a) < 0))
+_branch("bgez", Format.BRANCH1, lambda a, b, i: int(s32(a) >= 0))
+
+_define(Opcode("j", Format.JUMP, OpClass.BRANCH, is_jump=True))
+_define(Opcode("jal", Format.JUMP, OpClass.BRANCH, is_jump=True, is_call=True))
+_define(Opcode("jr", Format.R, OpClass.BRANCH, is_jump=True, is_indirect=True))
+_define(Opcode("jalr", Format.R, OpClass.BRANCH, is_jump=True,
+               is_indirect=True, is_call=True))
+
+# --- misc ---------------------------------------------------------------------
+_define(Opcode("nop", Format.NONE, OpClass.NOP))
+_define(Opcode("halt", Format.NONE, OpClass.NOP, is_halt=True))
+
+# --- single-precision floating point (Table 1 FP units) ------------------------
+# FP values are IEEE-754 single bit patterns; every operation rounds
+# through 32-bit single precision (pack/unpack), so results are exact
+# single-precision arithmetic and fully deterministic.
+import struct as _struct
+
+
+def bits_to_float(bits: int) -> float:
+    """Reinterpret a 32-bit pattern as an IEEE-754 single."""
+    return _struct.unpack("<f", _struct.pack("<I", bits & MASK32))[0]
+
+
+def float_to_bits(value: float) -> int:
+    """Round *value* to single precision and return its bit pattern."""
+    try:
+        return _struct.unpack("<I", _struct.pack("<f", value))[0]
+    except (OverflowError, ValueError):
+        # overflow to signed infinity, like hardware
+        sign = 0x80000000 if value < 0 else 0
+        return sign | 0x7F800000
+
+
+def _fp_binary(fn):
+    def evaluate(a, b, imm):
+        return float_to_bits(fn(bits_to_float(a), bits_to_float(b)))
+    return evaluate
+
+
+def _fp_div(x: float, y: float) -> float:
+    if y == 0.0:
+        return float("inf") if x > 0 else float("-inf") if x < 0 \
+            else float("nan")
+    return x / y
+
+
+def _fp_sqrt(a, b, imm):
+    x = bits_to_float(a)
+    return float_to_bits(x ** 0.5 if x >= 0 else float("nan"))
+
+
+def _fp_compare(fn):
+    def evaluate(a, b, imm):
+        return int(fn(bits_to_float(a), bits_to_float(b)))
+    return evaluate
+
+
+_define(Opcode("add.s", Format.RRR, OpClass.FP_ADD, latency=2,
+               issue_interval=1, eval_fn=_fp_binary(lambda x, y: x + y)))
+_define(Opcode("sub.s", Format.RRR, OpClass.FP_ADD, latency=2,
+               issue_interval=1, eval_fn=_fp_binary(lambda x, y: x - y)))
+_define(Opcode("mul.s", Format.RRR, OpClass.FP_MUL_DIV, latency=4,
+               issue_interval=1, eval_fn=_fp_binary(lambda x, y: x * y)))
+_define(Opcode("div.s", Format.RRR, OpClass.FP_MUL_DIV, latency=12,
+               issue_interval=12, eval_fn=_fp_binary(_fp_div)))
+_define(Opcode("sqrt.s", Format.RR2, OpClass.FP_MUL_DIV, latency=24,
+               issue_interval=24, eval_fn=_fp_sqrt))
+_define(Opcode("abs.s", Format.RR2, OpClass.FP_ADD, latency=2,
+               issue_interval=1,
+               eval_fn=lambda a, b, i: a & 0x7FFFFFFF))
+_define(Opcode("neg.s", Format.RR2, OpClass.FP_ADD, latency=2,
+               issue_interval=1,
+               eval_fn=lambda a, b, i: a ^ 0x80000000))
+_define(Opcode("mov.s", Format.RR2, OpClass.FP_ADD, latency=2,
+               issue_interval=1, eval_fn=lambda a, b, i: a))
+_define(Opcode("cvt.s.w", Format.RR2, OpClass.FP_ADD, latency=2,
+               issue_interval=1,
+               eval_fn=lambda a, b, i: float_to_bits(float(s32(a)))))
+_define(Opcode("cvt.w.s", Format.RR2, OpClass.FP_ADD, latency=2,
+               issue_interval=1,
+               eval_fn=lambda a, b, i: u32(int(bits_to_float(a)))
+               if abs(bits_to_float(a)) < 2**31 else 0x7FFFFFFF))
+_define(Opcode("mtc1", Format.RR2, OpClass.INT_ALU,
+               eval_fn=lambda a, b, i: a))
+_define(Opcode("mfc1", Format.RR2, OpClass.INT_ALU,
+               eval_fn=lambda a, b, i: a))
+_mem("lwc1", True, 4)
+_mem("swc1", False, 4)
+_define(Opcode("c.eq.s", Format.RR, OpClass.FP_ADD, latency=2,
+               issue_interval=1, writes_fcc=True,
+               eval_fn=_fp_compare(lambda x, y: x == y)))
+_define(Opcode("c.lt.s", Format.RR, OpClass.FP_ADD, latency=2,
+               issue_interval=1, writes_fcc=True,
+               eval_fn=_fp_compare(lambda x, y: x < y)))
+_define(Opcode("c.le.s", Format.RR, OpClass.FP_ADD, latency=2,
+               issue_interval=1, writes_fcc=True,
+               eval_fn=_fp_compare(lambda x, y: x <= y)))
+_branch("bc1t", Format.BRANCH0, lambda a, b, i: int(a != 0))
+_branch("bc1f", Format.BRANCH0, lambda a, b, i: int(a == 0))
+
+
+def lookup(name: str) -> Opcode:
+    """Return the :class:`Opcode` for *name*, raising ``KeyError`` if unknown."""
+    return _OPCODES[name]
+
+
+def all_opcodes() -> Dict[str, Opcode]:
+    """Return a copy of the full opcode table."""
+    return dict(_OPCODES)
+
+
+REGISTER_ALIASES: Dict[str, int] = {
+    "zero": 0, "at": 1, "v0": 2, "v1": 3,
+    "a0": 4, "a1": 5, "a2": 6, "a3": 7,
+    "t0": 8, "t1": 9, "t2": 10, "t3": 11, "t4": 12, "t5": 13, "t6": 14,
+    "t7": 15, "s0": 16, "s1": 17, "s2": 18, "s3": 19, "s4": 20, "s5": 21,
+    "s6": 22, "s7": 23, "t8": 24, "t9": 25, "k0": 26, "k1": 27,
+    "gp": 28, "sp": 29, "fp": 30, "ra": 31,
+    "hi": REG_HI, "lo": REG_LO, "fcc": REG_FCC,
+}
+REGISTER_ALIASES.update({f"f{i}": REG_F0 + i for i in range(NUM_FPRS)})
+
+REGISTER_NAMES: Dict[int, str] = {num: name for name, num in REGISTER_ALIASES.items()}
+
+
+def parse_register(token: str) -> int:
+    """Parse a register token such as ``$t0``, ``$8`` or ``t0`` into a number."""
+    token = token.strip().lstrip("$")
+    if token in REGISTER_ALIASES:
+        return REGISTER_ALIASES[token]
+    if token.startswith("r") and token[1:].isdigit():
+        token = token[1:]
+    if token.isdigit():
+        number = int(token)
+        if 0 <= number < NUM_GPRS:
+            return number
+    raise ValueError(f"unknown register {token!r}")

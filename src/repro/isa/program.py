@@ -1,0 +1,50 @@
+"""Loaded-program image: instructions plus initial data memory."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .instruction import INSTRUCTION_BYTES, Instruction
+
+TEXT_BASE = 0x0000_1000
+DATA_BASE = 0x1000_0000
+STACK_TOP = 0x7FFF_F000
+
+
+@dataclass
+class Program:
+    """An assembled program ready to be simulated.
+
+    ``instructions`` maps word-aligned PCs to decoded instructions.  Data
+    memory initial contents are byte-granular.  ``symbols`` keeps the label
+    table for diagnostics and for workloads that want to poke result buffers.
+    """
+
+    instructions: Dict[int, Instruction] = field(default_factory=dict)
+    data: Dict[int, int] = field(default_factory=dict)  # byte address -> byte
+    entry_point: int = TEXT_BASE
+    symbols: Dict[str, int] = field(default_factory=dict)
+    source: str = ""
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self.instructions)
+
+    def fetch(self, pc: int) -> Optional[Instruction]:
+        """Return the instruction at *pc*, or ``None`` for an invalid PC."""
+        return self.instructions.get(pc)
+
+    def instruction_list(self) -> List[Instruction]:
+        """All static instructions in ascending PC order."""
+        return [self.instructions[pc] for pc in sorted(self.instructions)]
+
+    def symbol(self, name: str) -> int:
+        """Resolve label *name* to its address (raises ``KeyError``)."""
+        return self.symbols[name]
+
+    def end_pc(self) -> int:
+        """One past the last text address (useful as a fetch guard)."""
+        if not self.instructions:
+            return self.entry_point
+        return max(self.instructions) + INSTRUCTION_BYTES

@@ -1,0 +1,85 @@
+"""ASCII bar charts: render the paper's figures as terminal graphics.
+
+The evaluation figures of the paper are grouped bar charts (speedups per
+benchmark per configuration).  :func:`bar_chart` renders the same data
+textually so ``repro-experiment <figure> --charts`` can show the shape
+at a glance without any plotting dependency.
+
+Example output::
+
+    Figure 6(a): speedups over base
+    go        ME-SB   |=============================           | 1.29
+              NME-SB  |=============================           | 1.29
+              ...
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .report import Report
+
+DEFAULT_WIDTH = 44
+
+
+def bar(value: float, maximum: float, width: int = DEFAULT_WIDTH) -> str:
+    """One left-aligned bar scaled so *maximum* fills *width* cells."""
+    if maximum <= 0:
+        return " " * width
+    filled = max(0, min(width, round(width * value / maximum)))
+    return "=" * filled + " " * (width - filled)
+
+
+def bar_chart(title: str,
+              groups: Dict[str, Dict[str, float]],
+              reference: Optional[float] = None,
+              width: int = DEFAULT_WIDTH) -> str:
+    """Grouped horizontal bar chart.
+
+    *groups* maps group label (benchmark) to {series label: value}.
+    A *reference* value (e.g. 1.0 for speedups) draws a ``|`` marker in
+    every bar at its position.
+    """
+    lines = [title, "=" * len(title)]
+    all_values = [value for series in groups.values()
+                  for value in series.values()]
+    if not all_values:
+        return "\n".join(lines + ["(no data)"])
+    maximum = max(all_values + ([reference] if reference else []))
+    group_width = max(len(name) for name in groups)
+    series_width = max(len(label) for series in groups.values()
+                       for label in series)
+    marker = (round(width * reference / maximum)
+              if reference and maximum > 0 else None)
+    for group, series in groups.items():
+        first = True
+        for label, value in series.items():
+            cells = list(bar(value, maximum, width))
+            if marker is not None and 0 <= marker < width \
+                    and cells[marker] == " ":
+                cells[marker] = "|"
+            prefix = group.ljust(group_width) if first \
+                else " " * group_width
+            lines.append(f"{prefix}  {label.ljust(series_width)} "
+                         f"|{''.join(cells)}| {value:.2f}")
+            first = False
+        lines.append("")
+    return "\n".join(lines[:-1] if lines[-1] == "" else lines)
+
+
+def report_to_chart(report: Report, reference: Optional[float] = None,
+                    width: int = DEFAULT_WIDTH) -> str:
+    """Render a numeric :class:`Report` (bench rows x config columns).
+
+    Non-numeric cells are skipped; the first column is the group label.
+    """
+    groups: Dict[str, Dict[str, float]] = {}
+    for row in report.rows:
+        label = str(row[0])
+        series = {}
+        for header, cell in zip(report.headers[1:], row[1:]):
+            if isinstance(cell, (int, float)) and cell is not None:
+                series[str(header)] = float(cell)
+        if series:
+            groups[label] = series
+    return bar_chart(report.title, groups, reference=reference, width=width)

@@ -1,0 +1,59 @@
+"""Plain-text table rendering for the experiment harness.
+
+Every experiment produces a :class:`Report` whose rows mirror the rows of
+the corresponding table or figure in the paper, with paper-reported
+values printed alongside measured values wherever the paper gives them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _format_cell(value: Cell) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class Report:
+    """A titled table plus optional notes, renderable as text."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Cell]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        self.rows.append(cells)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        table = [list(map(_format_cell, self.headers))]
+        table += [list(map(_format_cell, row)) for row in self.rows]
+        widths = [max(len(row[col]) for row in table)
+                  for col in range(len(self.headers))]
+        lines = [self.title, "=" * len(self.title)]
+        header, *body = table
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(header, widths)))
+        lines.append("  ".join("-" * width for width in widths))
+        for row in body:
+            lines.append("  ".join(cell.rjust(width)
+                                   for cell, width in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,19 @@
+"""Redundancy limit studies (Figures 8, 9, 10 of the paper)."""
+
+from .classifier import RedundancyClassifier, RedundancyCounts, MAX_INSTANCES
+from .reusability import (
+    PRODUCER_DISTANCE,
+    ReusabilityAnalyzer,
+    ReusabilityCounts,
+    analyze_stream,
+)
+
+__all__ = [
+    "RedundancyClassifier",
+    "RedundancyCounts",
+    "MAX_INSTANCES",
+    "ReusabilityAnalyzer",
+    "ReusabilityCounts",
+    "PRODUCER_DISTANCE",
+    "analyze_stream",
+]

@@ -1,0 +1,123 @@
+"""Redundancy classification — the Figure 8 limit study (Section 4.3).
+
+Every result-producing dynamic instruction is classified, per static
+instruction, into:
+
+* ``unique``    — produces this result value for the first time,
+* ``repeated``  — produces a result it produced before,
+* ``derivable`` — not repeated, but predictable from earlier results
+  (the result falls on an established stride),
+* ``unaccounted`` — could not be classified because the per-static-
+  instruction buffer (10K instances, as in the paper) was full.
+
+``redundancy = repeated + derivable`` — a rough upper bound on what value
+prediction could capture (footnote 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from ..functional.simulator import ExecOutcome
+
+MAX_INSTANCES = 10_000
+
+
+@dataclass
+class RedundancyCounts:
+    """Dynamic-instruction category counters (Figure 8)."""
+
+    unique: int = 0
+    repeated: int = 0
+    derivable: int = 0
+    unaccounted: int = 0
+    non_producing: int = 0  # branches/stores/nops: produce no result
+
+    @property
+    def producing(self) -> int:
+        return self.unique + self.repeated + self.derivable + self.unaccounted
+
+    @property
+    def total(self) -> int:
+        return self.producing + self.non_producing
+
+    @property
+    def redundant(self) -> int:
+        """The paper's definition: repeated + derivable."""
+        return self.repeated + self.derivable
+
+    def fraction(self, count: int) -> float:
+        return count / self.producing if self.producing else 0.0
+
+    def as_percentages(self) -> Dict[str, float]:
+        return {
+            "unique": 100.0 * self.fraction(self.unique),
+            "repeated": 100.0 * self.fraction(self.repeated),
+            "derivable": 100.0 * self.fraction(self.derivable),
+            "unaccounted": 100.0 * self.fraction(self.unaccounted),
+        }
+
+
+class _StaticEntry:
+    """Per-static-instruction instance buffer with stride tracking."""
+
+    __slots__ = ("values", "last_value", "stride", "full")
+
+    def __init__(self):
+        self.values: Set[int] = set()
+        self.last_value: Optional[int] = None
+        self.stride: Optional[int] = None
+        self.full = False
+
+    def classify(self, value: int, max_instances: int) -> str:
+        if value in self.values:
+            category = "repeated"
+        elif (self.stride is not None and self.stride != 0
+              and self.last_value is not None
+              and value == (self.last_value + self.stride) & 0xFFFFFFFF):
+            category = "derivable"
+        elif self.full:
+            category = "unaccounted"
+        else:
+            category = "unique"
+
+        if value not in self.values:
+            if len(self.values) < max_instances:
+                self.values.add(value)
+            else:
+                self.full = True
+        if self.last_value is not None:
+            self.stride = (value - self.last_value) & 0xFFFFFFFF
+        self.last_value = value
+        return category
+
+
+class RedundancyClassifier:
+    """Streams :class:`ExecOutcome` records and classifies results."""
+
+    def __init__(self, max_instances: int = MAX_INSTANCES):
+        self.max_instances = max_instances
+        self.counts = RedundancyCounts()
+        self._static: Dict[int, _StaticEntry] = {}
+        # Per-dynamic-instruction category of the most recent observation,
+        # exposed for the reusability analyzer (Figure 9/10).
+        self.last_category: Optional[str] = None
+
+    def observe(self, outcome: ExecOutcome) -> Optional[str]:
+        """Classify one dynamic instruction; returns its category."""
+        if outcome.result is None:
+            self.counts.non_producing += 1
+            self.last_category = None
+            return None
+        entry = self._static.get(outcome.pc)
+        if entry is None:
+            entry = self._static[outcome.pc] = _StaticEntry()
+        category = entry.classify(outcome.result, self.max_instances)
+        setattr(self.counts, category, getattr(self.counts, category) + 1)
+        self.last_category = category
+        return category
+
+    @property
+    def static_instructions(self) -> int:
+        return len(self._static)

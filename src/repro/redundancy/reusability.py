@@ -1,0 +1,192 @@
+"""Reusability estimate — Figures 9 and 10 of the paper (Section 4.3).
+
+Of the *repeated* instructions, how many could IR actually reuse?  Two
+things disqualify a repeated instruction:
+
+1. **Inputs not ready** at reuse-test time.  The paper's model: an input
+   is not ready if its producer is fewer than 50 dynamic instructions
+   ahead, *unless the producer was itself reused* (Figure 9's three
+   categories: producer reused / producer >= 50 ahead / producer < 50
+   ahead).
+2. **Different inputs**: the instruction repeats a result but with operand
+   values never seen together before (e.g. logical ops, loads), so the
+   operand-based reuse test cannot validate it.
+
+``reusable = repeated - not_ready - different_inputs`` and Figure 10
+reports ``reusable / (repeated + derivable)`` — 84..97% in the paper.
+Loads additionally require that no store wrote their address since the
+matching instance was recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from ..functional.simulator import ExecOutcome
+from .classifier import MAX_INSTANCES, RedundancyClassifier
+
+PRODUCER_DISTANCE = 50
+
+
+@dataclass
+class ReusabilityCounts:
+    """Figure 9 (readiness buckets over repeated insts) + Figure 10."""
+
+    repeated: int = 0
+    producers_reused: int = 0  # inputs ready: producers were reused
+    producers_far: int = 0  # inputs ready: producers >= 50 insts ahead
+    producers_near: int = 0  # inputs NOT ready: producer < 50 ahead
+    different_inputs: int = 0  # repeated result but unseen operand values
+    memory_invalidated: int = 0  # load whose address was overwritten
+    reusable: int = 0
+    derivable: int = 0
+
+    @property
+    def redundant(self) -> int:
+        return self.repeated + self.derivable
+
+    def readiness_percentages(self) -> Dict[str, float]:
+        if not self.repeated:
+            return {"producers_reused": 0.0, "producers_far": 0.0,
+                    "producers_near": 0.0}
+        return {
+            "producers_reused": 100.0 * self.producers_reused / self.repeated,
+            "producers_far": 100.0 * self.producers_far / self.repeated,
+            "producers_near": 100.0 * self.producers_near / self.repeated,
+        }
+
+    @property
+    def reusable_fraction_of_redundant(self) -> float:
+        """Figure 10's headline: 84-97% in the paper."""
+        if not self.redundant:
+            return 0.0
+        return self.reusable / self.redundant
+
+
+class _RegWriter:
+    __slots__ = ("index", "reused")
+
+    def __init__(self, index: int, reused: bool):
+        self.index = index
+        self.reused = reused
+
+
+class ReusabilityAnalyzer:
+    """Streams outcomes; layers the reuse test over the classifier."""
+
+    def __init__(self, max_instances: int = MAX_INSTANCES,
+                 producer_distance: int = PRODUCER_DISTANCE):
+        self.classifier = RedundancyClassifier(max_instances)
+        self.counts = ReusabilityCounts()
+        self.producer_distance = producer_distance
+        self.max_instances = max_instances
+        self._index = 0
+        self._reg_writers: Dict[int, _RegWriter] = {}
+        # Per-static-instruction set of (operand signature) seen before.
+        self._operand_sigs: Dict[int, Set[Tuple[int, ...]]] = {}
+        # Memory write clock per 4-byte block, and per-static-load the
+        # time its matching instance was recorded.
+        self._mem_clock: Dict[int, int] = {}
+        self._load_instances: Dict[int, Dict[Tuple[int, ...], int]] = {}
+
+    def observe(self, outcome: ExecOutcome) -> None:
+        self._index += 1
+        category = self.classifier.observe(outcome)
+        inst = outcome.inst
+
+        if inst.opcode.is_store and outcome.mem_addr is not None:
+            first = outcome.mem_addr >> 2
+            last = (outcome.mem_addr + inst.opcode.mem_bytes - 1) >> 2
+            for block in range(first, last + 1):
+                self._mem_clock[block] = self._index
+
+        reused = False
+        if category == "repeated":
+            self.counts.repeated += 1
+            reused = self._check_reusable(outcome)
+            if reused:
+                self.counts.reusable += 1
+        elif category == "derivable":
+            self.counts.derivable += 1
+
+        self._record_instance(outcome)
+        for reg, _ in outcome.writes:
+            self._reg_writers[reg] = _RegWriter(self._index, reused)
+
+    def _record_instance(self, outcome: ExecOutcome) -> None:
+        """Record this occurrence's operand signature (and, for loads,
+        the instance time) for future reuse tests.  Recording happens for
+        EVERY dynamic instance — an instruction whose first occurrence
+        produced a unique result still seeds the test for its repeats."""
+        inst = outcome.inst
+        if not inst.opcode.writes_hi_lo and outcome.result is None \
+                and not inst.opcode.is_store:
+            return
+        signature = self._operand_signature(outcome)
+        sigs = self._operand_sigs.setdefault(inst.pc, set())
+        if len(sigs) < self.max_instances:
+            sigs.add(signature)
+        if inst.opcode.is_load:
+            instances = self._load_instances.setdefault(inst.pc, {})
+            if len(instances) < self.max_instances \
+                    or signature in instances:
+                instances[signature] = self._index
+
+    def _operand_signature(self, outcome: ExecOutcome) -> Tuple[int, ...]:
+        return (outcome.operand_a, outcome.operand_b)
+
+    def _check_reusable(self, outcome: ExecOutcome) -> bool:
+        inst = outcome.inst
+        # -- input readiness (Figure 9) ---------------------------------------
+        ready = True
+        any_near = False
+        all_reused = bool(inst.src_regs)
+        for reg in inst.src_regs:
+            writer = self._reg_writers.get(reg)
+            if writer is None:
+                all_reused = False
+                continue
+            if writer.reused:
+                continue
+            all_reused = False
+            if self._index - writer.index < self.producer_distance:
+                any_near = True
+        if any_near:
+            self.counts.producers_near += 1
+            ready = False
+        elif all_reused and inst.src_regs:
+            self.counts.producers_reused += 1
+        else:
+            self.counts.producers_far += 1
+
+        # -- operand test (against instances recorded so far) ------------------
+        signature = self._operand_signature(outcome)
+        seen = signature in self._operand_sigs.get(inst.pc, ())
+        if not seen:
+            if ready:
+                self.counts.different_inputs += 1
+            return False
+        if not ready:
+            return False
+
+        # -- memory validity for loads ----------------------------------------
+        if inst.opcode.is_load:
+            recorded = self._load_instances.get(inst.pc, {}).get(signature)
+            if recorded is None:
+                return False
+            first = outcome.mem_addr >> 2
+            last = (outcome.mem_addr + inst.opcode.mem_bytes - 1) >> 2
+            for block in range(first, last + 1):
+                if self._mem_clock.get(block, 0) > recorded:
+                    self.counts.memory_invalidated += 1
+                    return False
+        return True
+
+
+def analyze_stream(outcomes) -> ReusabilityAnalyzer:
+    """Run the full Figure 8/9/10 analysis over an outcome stream."""
+    analyzer = ReusabilityAnalyzer()
+    for outcome in outcomes:
+        analyzer.observe(outcome)
+    return analyzer

@@ -1,0 +1,6 @@
+"""Instruction reuse: the Reuse Buffer and scheme S_{n+d}."""
+
+from .buffer import RBEntry, ReuseBuffer
+from .scheme import ReuseDecision, ReuseEngine
+
+__all__ = ["RBEntry", "ReuseBuffer", "ReuseDecision", "ReuseEngine"]

@@ -1,0 +1,209 @@
+"""Scheme S_{n+d}: the reuse test and RB maintenance (Section 4.1.2).
+
+The reuse test runs in parallel with decode (dispatch in this model) and
+establishes, *non-speculatively*, that a stored instance's result is valid:
+
+* every register operand must be **available** (its producer finished, or
+  the operand has no in-flight producer) and **equal** to the stored
+  operand value; or
+* the operand's producer must itself have been reused *this cycle* — the
+  dependence-pointer chaining that lets a whole dependent chain be reused
+  in a single cycle (the "d" of S_{n+d});
+* loads additionally require the entry's memory-valid bit (no committed
+  store overwrote the address) and no older in-flight store conflicting
+  with the address;
+* stores and address-only load entries reuse just the effective address,
+  which removes the address computation and enables earlier memory
+  disambiguation.
+
+Because both paper augmentations store operand *values* in the entry, the
+register-overwrite invalidation and revert-to-valid rules reduce exactly
+to the value comparisons performed here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from ..metrics.stats import SimStats
+from ..uarch.config import IRConfig, IRValidation
+from ..uarch.entry import InflightOp
+from .buffer import OperandSignature, RBEntry, ReuseBuffer
+
+# Core-supplied oracle: does an older in-flight store conflict with this
+# load's address range?  (op, address, nbytes) -> bool
+StoreConflictFn = Callable[[InflightOp, int, int], bool]
+
+
+@dataclass
+class ReuseDecision:
+    """Outcome of one reuse test."""
+
+    entry: Optional[RBEntry] = None
+    full: bool = False  # result (or branch outcome / jump target) reused
+    address: bool = False  # effective address reused (memory ops)
+
+    @property
+    def hit(self) -> bool:
+        return self.full or self.address
+
+
+class ReuseEngine:
+    """Front-end reuse tester + back-end RB writer."""
+
+    def __init__(self, config: IRConfig, stats: SimStats):
+        self.config = config
+        self.stats = stats
+        self.buffer = ReuseBuffer(config)
+
+    # -- eligibility ---------------------------------------------------------------
+
+    @staticmethod
+    def eligible(op: InflightOp) -> bool:
+        """Direct jumps, nops and halt gain nothing from reuse."""
+        opcode = op.inst.opcode
+        if opcode.op_class.name == "NOP":
+            return False
+        if opcode.is_jump and not opcode.is_indirect:
+            return False
+        return True
+
+    # -- the reuse test (dispatch time) ----------------------------------------------
+
+    def test(self, op: InflightOp, cycle: int,
+             store_conflict: StoreConflictFn) -> ReuseDecision:
+        if not self.eligible(op):
+            return ReuseDecision()
+        self.stats.ir_tests += 1
+        inst = op.inst
+        best = ReuseDecision()
+        for entry in self.buffer.instances(inst.pc):
+            if not self._operands_match(op, entry, cycle):
+                continue
+            if inst.opcode.is_mem:
+                decision = self._test_memory(op, entry, store_conflict)
+            else:
+                decision = ReuseDecision(entry=entry, full=True)
+            if decision.full:
+                best = decision
+                break
+            if decision.address and not best.address:
+                best = decision
+        if best.entry is not None:
+            self.buffer.touch(best.entry)
+            self._count_recovery(best.entry)
+        return best
+
+    def _operands_match(self, op: InflightOp, entry: RBEntry,
+                        cycle: int) -> bool:
+        """All stored operands available and equal to the current values."""
+        for reg, stored_value in entry.operands:
+            if not self._value_available(op, reg, cycle):
+                return False
+            if op.src_values.get(reg) != stored_value:
+                return False
+        return True
+
+    def _value_available(self, op: InflightOp, reg: int, cycle: int) -> bool:
+        producer = op.producers.get(reg)
+        if producer is None:
+            return True  # architectural value, readable at decode
+        if producer.completed and producer.ready_cycle is not None \
+                and producer.nonspec_cycle is not None \
+                and producer.nonspec_cycle <= cycle:
+            # The value must be *verified*, not merely computed: in pure
+            # IR these coincide, but in the hybrid machine a completed
+            # producer may still carry a value-speculative result, and
+            # the reuse test is defined to be non-speculative.
+            if producer.ready_cycle < cycle:
+                return True
+            # Same-cycle availability: an execution writing back this
+            # cycle can bypass into the decode-stage test, but a
+            # same-cycle *reuse* is only visible through the dependence
+            # pointers (the "d" of S_{n+d}) — handled below.
+            if producer.ready_cycle == cycle \
+                    and producer.reuse_value is None:
+                return True
+        # Dependence-pointer chaining: the producer's own reuse test
+        # succeeded, so its result is known at decode.  Under EARLY
+        # validation that result is already validated (non-speculative);
+        # under LATE validation it is still speculative, and chaining on
+        # it is only allowed when ``late_chain_detection`` relaxes the
+        # test (see IRConfig).
+        if producer.reuse_value is not None \
+                and self.config.dependence_chaining:
+            if self.config.validation == IRValidation.EARLY:
+                return True
+            return self.config.late_chain_detection
+        return False
+
+    def _test_memory(self, op: InflightOp, entry: RBEntry,
+                     store_conflict: StoreConflictFn) -> ReuseDecision:
+        if entry.address is None:
+            return ReuseDecision()
+        decision = ReuseDecision(entry=entry, address=True)
+        if (op.is_load and entry.result_valid and entry.mem_valid
+                and not store_conflict(op, entry.address, entry.mem_bytes)):
+            decision.full = True
+        return decision
+
+    def _count_recovery(self, entry: RBEntry) -> None:
+        """Table 5: squashed-but-executed work recovered through the RB."""
+        if entry.from_squashed and not entry.recovery_counted:
+            entry.recovery_counted = True
+            self.stats.squashed_recovered += 1
+
+    # -- RB maintenance ---------------------------------------------------------------
+
+    def operand_signature(self, op: InflightOp) -> OperandSignature:
+        """The operand names+values stored with an entry.
+
+        Stores keep only the base register: their reusable work is the
+        address computation, which does not depend on the data operand.
+        """
+        inst = op.inst
+        if inst.opcode.is_store:
+            regs: Tuple[int, ...] = (inst.rs,) if inst.rs != 0 else ()
+        else:
+            regs = inst.src_regs
+        return tuple((reg, op.src_values[reg]) for reg in regs)
+
+    def insert(self, op: InflightOp) -> None:
+        """Record a completed execution in the RB (wrong paths included)."""
+        if op.reused or not self.eligible(op):
+            return
+        inst, outcome = op.inst, op.outcome
+        entry = RBEntry(pc=inst.pc, operands=self.operand_signature(op))
+        if inst.opcode.is_branch:
+            entry.result = int(outcome.taken)
+        elif inst.opcode.is_indirect:
+            entry.result = outcome.next_pc
+        elif inst.opcode.is_mem:
+            entry.is_mem = True
+            entry.is_load = inst.opcode.is_load
+            entry.address = outcome.mem_addr
+            entry.mem_bytes = inst.opcode.mem_bytes
+            if entry.is_load:
+                entry.result = outcome.result
+                # Data forwarded from a not-yet-committed store is not
+                # guaranteed against committed memory: address-only entry.
+                entry.result_valid = op.forwarded_from is None
+            else:
+                entry.result_valid = False
+        else:
+            entry.result = outcome.result
+            entry.result_hi = outcome.result_hi
+        entry.source_entries = tuple(
+            producer.rb_entry for _, producer in sorted(op.producers.items()))
+        op.rb_entry = self.buffer.insert(entry)
+
+    def note_squashed(self, op: InflightOp) -> None:
+        """The op was control-squashed after executing: its RB entry (if
+        any) now represents recoverable wrong-path work (Table 5)."""
+        if op.rb_entry is not None:
+            op.rb_entry.from_squashed = True
+            op.rb_entry.recovery_counted = False
+
+    def on_store_commit(self, address: int, nbytes: int) -> None:
+        self.buffer.invalidate_stores(address, nbytes)

@@ -1,0 +1,168 @@
+"""Branch prediction: gshare + return-address stack + indirect target table.
+
+Matches Table 1: gshare [McFarling] with a 10-bit global history register
+and a 16K-entry table of 2-bit counters.  The global history is updated
+speculatively at prediction time and repaired on squashes from per-branch
+snapshots (the timing core records the pre-prediction history with every
+fetched branch).  Direction counters are updated non-speculatively at
+commit.  Direct jump targets are assumed known at fetch (ideal BTB);
+returns use a small RAS; other indirect jumps use a last-target table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .config import BranchPredictorConfig
+
+
+@dataclass
+class BranchPrediction:
+    """What the front end decided for one control instruction."""
+
+    taken: bool
+    target: Optional[int]  # None when no target is available (stall-safe)
+    history_before: int  # GHR snapshot for repair and for the update index
+    ras_snapshot: Tuple[int, ...] = ()  # RAS contents before this prediction
+
+
+class Gshare:
+    """Two-level gshare direction predictor with 2-bit saturating counters."""
+
+    def __init__(self, config: BranchPredictorConfig):
+        self.history_bits = config.history_bits
+        self.history_mask = (1 << config.history_bits) - 1
+        self.table_size = config.counter_entries
+        self.index_mask = self.table_size - 1
+        if self.table_size & self.index_mask:
+            raise ValueError("counter table size must be a power of two")
+        self.counters = bytearray([2] * self.table_size)  # weakly taken
+        self.history = 0
+
+    def index(self, pc: int, history: int) -> int:
+        return ((pc >> 2) ^ history) & self.index_mask
+
+    def predict(self, pc: int) -> bool:
+        """Predict direction and speculatively update the history register."""
+        taken = self.counters[self.index(pc, self.history)] >= 2
+        self._shift_history(taken)
+        return taken
+
+    def update(self, pc: int, taken: bool, history_before: int) -> None:
+        """Train the counter that made the prediction (done at commit)."""
+        slot = self.index(pc, history_before)
+        counter = self.counters[slot]
+        if taken:
+            self.counters[slot] = min(3, counter + 1)
+        else:
+            self.counters[slot] = max(0, counter - 1)
+
+    def repair(self, history_before: int, actual_taken: bool) -> None:
+        """Rewind to the pre-branch history and shift in the real outcome."""
+        self.history = history_before
+        self._shift_history(actual_taken)
+
+    def _shift_history(self, taken: bool) -> None:
+        self.history = ((self.history << 1) | int(taken)) & self.history_mask
+
+
+class ReturnAddressStack:
+    """A small circular return-address stack (Table 2's ~100% return rates)."""
+
+    def __init__(self, entries: int):
+        self.entries = entries
+        self.stack: List[int] = []
+
+    def push(self, address: int) -> None:
+        self.stack.append(address)
+        if len(self.stack) > self.entries:
+            self.stack.pop(0)
+
+    def pop(self) -> Optional[int]:
+        return self.stack.pop() if self.stack else None
+
+    def snapshot(self) -> Tuple[int, ...]:
+        return tuple(self.stack)
+
+    def restore(self, snapshot: Tuple[int, ...]) -> None:
+        self.stack = list(snapshot)
+
+
+class IndirectPredictor:
+    """Last-target table for indirect jumps that are not returns."""
+
+    def __init__(self, entries: int):
+        self.index_mask = entries - 1
+        self.targets: List[Optional[int]] = [None] * entries
+
+    def predict(self, pc: int) -> Optional[int]:
+        return self.targets[(pc >> 2) & self.index_mask]
+
+    def update(self, pc: int, target: int) -> None:
+        self.targets[(pc >> 2) & self.index_mask] = target
+
+
+class BranchPredictorUnit:
+    """Facade combining direction, return and indirect-target prediction."""
+
+    def __init__(self, config: BranchPredictorConfig):
+        self.config = config
+        self.gshare = Gshare(config)
+        self.ras = ReturnAddressStack(config.ras_entries)
+        self.indirect = IndirectPredictor(config.indirect_entries)
+
+    # -- fetch-time interface ---------------------------------------------------
+
+    def predict_branch(self, pc: int, target: int) -> BranchPrediction:
+        """Conditional branch with a known (direct) target."""
+        history = self.gshare.history
+        ras = self.ras.snapshot()
+        taken = self.gshare.predict(pc)
+        return BranchPrediction(taken, target if taken else None, history, ras)
+
+    def predict_call(self, pc: int, return_address: int,
+                     target: Optional[int]) -> BranchPrediction:
+        """``jal`` (direct) or ``jalr`` (indirect, target may be unknown)."""
+        history = self.gshare.history
+        ras = self.ras.snapshot()
+        self.ras.push(return_address)
+        if target is None:
+            target = self.indirect.predict(pc)
+        return BranchPrediction(True, target, history, ras)
+
+    def predict_return(self, pc: int) -> BranchPrediction:
+        history = self.gshare.history
+        ras = self.ras.snapshot()
+        return BranchPrediction(True, self.ras.pop(), history, ras)
+
+    def predict_indirect(self, pc: int) -> BranchPrediction:
+        return BranchPrediction(True, self.indirect.predict(pc),
+                                self.gshare.history, self.ras.snapshot())
+
+    # -- resolution-time interface ----------------------------------------------
+
+    def repair(self, prediction: BranchPrediction, actual_taken: bool,
+               is_conditional: bool) -> None:
+        """Restore front-end predictor state after a squash at this branch."""
+        self.ras.restore(prediction.ras_snapshot)
+        if is_conditional:
+            self.gshare.repair(prediction.history_before, actual_taken)
+        else:
+            self.gshare.history = prediction.history_before
+
+    def repair_call(self, prediction: BranchPrediction,
+                    return_address: int) -> None:
+        """Like :meth:`repair` but re-applies the call's RAS push."""
+        self.ras.restore(prediction.ras_snapshot)
+        self.gshare.history = prediction.history_before
+        self.ras.push(return_address)
+
+    # -- commit-time interface ---------------------------------------------------
+
+    def commit_branch(self, pc: int, taken: bool,
+                      prediction: BranchPrediction) -> None:
+        self.gshare.update(pc, taken, prediction.history_before)
+
+    def commit_indirect(self, pc: int, target: int) -> None:
+        self.indirect.update(pc, target)

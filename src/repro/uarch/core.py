@@ -1,0 +1,969 @@
+"""The out-of-order timing core integrating VP and IR.
+
+Pipeline structure mirrors Figure 1/2 of the paper: fetch -> decode/rename/
+dispatch -> (out-of-order issue/execute) -> commit, over the Table 1
+machine.  Architectural semantics are computed *at dispatch* against a
+checkpointed speculative state (the SimpleScalar ``sim-outorder`` design),
+so the model runs wrong paths with real values; the back end models timing
+and — under value prediction — the propagation of *mispredicted* values:
+each execution re-evaluates its operation over its operands' current
+(possibly wrong) values, so spurious branch resolutions and selective
+re-execution behave like the hardware the paper describes.
+
+Key timing conventions (see also :mod:`repro.uarch.entry`):
+
+* a value produced in cycle ``r`` can feed an execution issuing in ``r+1``;
+* value-predicted / reused values are available at the dispatch cycle;
+* an instruction commits no earlier than the cycle after it completed and
+  became non-value-speculative;
+* a verified misprediction corrects dependents ``verify_latency`` cycles
+  after the verifying execution completes, and only the first instruction
+  of a dependent chain pays that penalty (Section 4.1.3).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..functional.simulator import (
+    ExecOutcome,
+    FunctionalSimulator,
+    SimulationError,
+    execute,
+)
+from ..isa.instruction import Instruction
+from ..isa.opcodes import (
+    OpClass,
+    REG_FCC,
+    REG_HI,
+    REG_LO,
+    div_hi_lo,
+    mult_hi_lo,
+    u32,
+)
+from ..isa.program import Program
+from ..metrics.stats import SimStats
+from ..reuse.scheme import ReuseDecision, ReuseEngine
+from ..vp.predictors import ValuePredictor, make_predictor
+from .branch_predictor import BranchPredictorUnit
+from .cache import PortTracker, SetAssocCache
+from .config import BranchPolicy, IRValidation, MachineConfig, ReexecPolicy
+from .entry import InflightOp
+from .fetch import FetchedInst, FetchUnit
+from .functional_units import FunctionalUnits
+from .spec_state import SpeculativeState
+
+_EVENT_COMPLETE = 0
+_EVENT_RESOLVE = 1
+
+
+class OutOfOrderCore:
+    """Cycle-stepped 4-way out-of-order processor model."""
+
+    def __init__(self, config: MachineConfig, program: Program):
+        self.config = config
+        self.program = program
+        self.stats = SimStats(config_name=config.name)
+
+        self.predictor = BranchPredictorUnit(config.bpred)
+        self.fetch_unit = FetchUnit(config, program, self.predictor)
+        self.fus = FunctionalUnits(config)
+        self.dcache = SetAssocCache(config.dcache, "dcache")
+        self.dcache_ports = PortTracker(config.dcache.ports)
+        self.spec = SpeculativeState(program)
+
+        self.rename: Dict[int, InflightOp] = {}
+        self.rob: Deque[InflightOp] = deque()
+        self.lsq: Deque[InflightOp] = deque()
+        self.events: List[Tuple[int, int, int, InflightOp]] = []
+
+        self.cycle = 0
+        self.seq = 0
+        self.unresolved_control = 0
+        self.halt_dispatched: Optional[InflightOp] = None
+        self.halted = False
+
+        self.vp = make_predictor(config.vp) if config.vp.enabled else None
+        self.ir: Optional[ReuseEngine] = (
+            ReuseEngine(config.ir, self.stats) if config.ir.enabled else None)
+        self.verify_latency = config.vp.verify_latency if config.vp.enabled \
+            else 0
+
+        if config.vp.enabled and config.ir.enabled and not config.hybrid:
+            raise ValueError(
+                "VP and IR are separate techniques in the paper; enable "
+                "one at a time (or set hybrid=True for the combined "
+                "scheme the paper's conclusion suggests)")
+
+        self.oracle: Optional[FunctionalSimulator] = (
+            FunctionalSimulator(program) if config.verify_commits else None)
+
+        # Optional observer invoked as on_commit(op, cycle) for every
+        # committed instruction (tracing, examples, custom statistics).
+        self.on_commit = None
+
+    # ------------------------------------------------------------------ run --
+
+    def run(self, max_cycles: Optional[int] = None,
+            max_instructions: Optional[int] = None) -> SimStats:
+        """Simulate until halt commits or a budget is exhausted."""
+        while not self.halted:
+            if max_cycles is not None and self.cycle >= max_cycles:
+                break
+            if (max_instructions is not None
+                    and self.stats.committed >= max_instructions):
+                break
+            self.step()
+        self._finalize_stats()
+        return self.stats
+
+    def skip(self, instructions: int) -> None:
+        """Functionally fast-forward before timing simulation starts.
+
+        Mirrors the paper's warm-up skip (1-2.5 billion instructions there).
+        Must be called before the first :meth:`step`.
+        """
+        if self.cycle or self.rob:
+            raise SimulationError("skip() must precede timing simulation")
+        pc = self.program.entry_point
+        executed = 0
+        while executed < instructions:
+            inst = self.program.fetch(pc)
+            if inst is None:
+                raise SimulationError(f"skip ran off program at {pc:#x}")
+            if inst.opcode.is_halt:
+                break
+            outcome = execute(inst, self.spec)
+            pc = outcome.next_pc
+            executed += 1
+        self.fetch_unit.fetch_pc = pc
+        if self.oracle is not None:
+            self.oracle.skip(executed)
+
+    def step(self) -> None:
+        """Advance one cycle (reverse pipeline order)."""
+        self.cycle += 1
+        self._commit()
+        self._process_events()
+        self._issue()
+        self._dispatch()
+        self.fetch_unit.step(self.cycle)
+        self.stats.cycles = self.cycle
+
+    # ---------------------------------------------------------------- events --
+
+    def _schedule(self, cycle: int, kind: int, op: InflightOp) -> None:
+        heapq.heappush(self.events, (cycle, op.seq, kind, op))
+
+    def _process_events(self) -> None:
+        while self.events and self.events[0][0] <= self.cycle:
+            _, _, kind, op = heapq.heappop(self.events)
+            if op.squashed:
+                continue
+            if kind == _EVENT_COMPLETE:
+                if op.completes_at == self.cycle and op.issued:
+                    self._on_complete(op)
+            elif kind == _EVENT_RESOLVE:
+                if not op.resolved_final:
+                    taken, target = self._final_resolution(op)
+                    self._resolve_control(op, taken, target, final=True)
+
+    # --------------------------------------------------------------- dispatch --
+
+    def _dispatch(self) -> None:
+        dispatched = 0
+        while dispatched < self.config.decode_width and self.fetch_unit.queue:
+            fetched = self.fetch_unit.peek()
+            inst = fetched.inst
+            if fetched.fetch_cycle >= self.cycle:
+                break  # fetched this very cycle; decode next cycle
+            if self.halt_dispatched is not None:
+                break
+            if len(self.rob) >= self.config.rob_size:
+                break
+            if inst.opcode.is_mem and len(self.lsq) >= self.config.lsq_size:
+                break
+            needs_ckpt = inst.opcode.is_branch or inst.opcode.is_indirect
+            if needs_ckpt and (self.unresolved_control
+                               >= self.config.max_unresolved_branches):
+                break
+            self.fetch_unit.pop()
+            self._dispatch_one(fetched)
+            dispatched += 1
+            self.stats.dispatched += 1
+            if inst.opcode.is_halt:
+                break
+            # A reused branch that squashed at dispatch cleared the queue,
+            # which ends this loop naturally.
+
+    def _dispatch_one(self, fetched: FetchedInst) -> InflightOp:
+        inst = fetched.inst
+        src_values = {reg: self.spec.regs[reg] for reg in inst.src_regs}
+        outcome = execute(inst, self.spec)
+        self.seq += 1
+        op = InflightOp(self.seq, inst, outcome, self.cycle)
+        op.src_values = src_values
+        for reg in inst.src_regs:
+            producer = self.rename.get(reg)
+            if producer is None:
+                continue
+            op.producers[reg] = producer
+            if producer.nonspec_cycle is None or not producer.completed:
+                producer.consumers.append((op, reg))
+        for reg in inst.dest_regs:
+            self.rename[reg] = op
+
+        self.rob.append(op)
+        if inst.opcode.is_mem:
+            self.lsq.append(op)
+
+        if op.is_control:
+            self._dispatch_control(op, fetched)
+        if not op.executes:
+            self._complete_at_dispatch(op)
+        if inst.opcode.is_halt:
+            self.halt_dispatched = op
+
+        if self.ir is not None and op.executes:
+            self._apply_reuse(op)
+        if self.vp is not None and op.executes and not op.is_control \
+                and not op.reused:
+            self._apply_value_prediction(op)
+        return op
+
+    def _dispatch_control(self, op: InflightOp, fetched: FetchedInst) -> None:
+        inst = op.inst
+        op.prediction = fetched.prediction
+        if inst.opcode.is_branch:
+            op.believed_taken = fetched.prediction.taken
+            op.believed_target = inst.target
+        else:
+            op.believed_taken = True
+            op.believed_target = (fetched.prediction.target
+                                  if fetched.prediction else inst.target)
+        if op.needs_checkpoint:
+            op.checkpoint = self.spec.take_checkpoint(inst.pc)
+            op.rename_snapshot = dict(self.rename)
+            self.unresolved_control += 1
+        else:
+            # Direct j/jal: fetch followed the target; nothing to resolve.
+            op.resolved_final = True
+            op.last_resolution_cycle = self.cycle
+
+    def _complete_at_dispatch(self, op: InflightOp) -> None:
+        """Non-executing ops (j/jal/nop/halt) are done at dispatch."""
+        op.completed = True
+        op.used_values = dict(op.src_values)
+        op.last_completion_cycle = self.cycle
+        op.ready_cycle = self.cycle
+        op.value_ready_cycle = self.cycle
+        op.current_value = op.outcome.result
+        op.nonspec_cycle = self.cycle
+
+    # -- VP at dispatch --------------------------------------------------------------
+
+    def _apply_value_prediction(self, op: InflightOp) -> None:
+        inst, outcome = op.inst, op.outcome
+        if self.config.vp.predict_results and inst.dest_regs \
+                and outcome.result is not None and not inst.opcode.is_store:
+            predicted = self.vp.predict_result(inst.pc, outcome.result)
+            if predicted is not None:
+                op.predicted = True
+                op.predicted_value = predicted
+                op.value_ready_cycle = self.cycle
+        if inst.opcode.is_mem:
+            predicted_addr = self.vp.predict_address(inst.pc,
+                                                     outcome.mem_addr)
+            if predicted_addr is not None:
+                op.addr_predicted = True
+                op.predicted_addr = predicted_addr
+                op.current_addr = predicted_addr
+                if op.is_store:
+                    op.addr_known_cycle = self.cycle  # speculative
+
+    # -- IR at dispatch --------------------------------------------------------------
+
+    def _apply_reuse(self, op: InflightOp) -> None:
+        decision = self.ir.test(op, self.cycle, self._store_conflict)
+        if not decision.hit:
+            return
+        op.reuse_hit_full = decision.full
+        op.reuse_hit_addr = decision.address
+        if self.config.ir.validation == IRValidation.EARLY:
+            self._apply_reuse_early(op, decision)
+        else:
+            self._apply_reuse_late(op, decision)
+
+    def _apply_reuse_early(self, op: InflightOp,
+                           decision: ReuseDecision) -> None:
+        entry = decision.entry
+        if decision.address:
+            op.addr_reused = True
+            op.current_addr = entry.address
+            op.addr_known_cycle = self.cycle  # non-speculative
+        if not decision.full:
+            return
+        op.reused = True
+        op.reuse_value = entry.result
+        op.completed = True
+        op.used_values = dict(op.src_values)
+        op.last_completion_cycle = self.cycle
+        op.ready_cycle = self.cycle
+        op.value_ready_cycle = self.cycle
+        op.hi_ready_cycle = self.cycle
+        op.nonspec_cycle = self.cycle
+        op.current_value = entry.result
+        op.current_hi = entry.result_hi
+        if op.is_load:
+            op.used_addr = entry.address
+        if self.config.verify_commits and not op.is_control:
+            if entry.result != op.outcome.result:
+                raise SimulationError(
+                    f"reuse produced wrong value at {op.inst}")
+        if op.inst.opcode.is_branch:
+            self.stats.reused_branches += 1
+            self._resolve_control(op, bool(entry.result), op.inst.target,
+                                  final=True)
+        elif op.inst.opcode.is_indirect:
+            op.current_addr = entry.result
+            self.stats.reused_branches += 1
+            self._resolve_control(op, True, entry.result, final=True)
+
+    def _apply_reuse_late(self, op: InflightOp,
+                          decision: ReuseDecision) -> None:
+        """Figure 3's *late* experiment: hits act like perfect predictions."""
+        entry = decision.entry
+        if decision.address:
+            op.addr_predicted = True
+            op.predicted_addr = entry.address
+            op.current_addr = entry.address
+            if op.is_store:
+                op.addr_known_cycle = self.cycle
+        if decision.full:
+            # The hit marker feeds same-cycle dependence chaining in the
+            # reuse test: detection is identical to early mode, only the
+            # validation point moves to the execute stage.
+            op.reuse_value = entry.result
+            if op.inst.dest_regs:
+                op.predicted = True
+                op.predicted_value = entry.result
+                op.value_ready_cycle = self.cycle
+
+    # ------------------------------------------------------------------- issue --
+
+    def _issue(self) -> None:
+        issued = 0
+        for op in self.rob:
+            if issued >= self.config.issue_width:
+                break
+            if not self._wants_issue(op):
+                continue
+            if not self._can_issue(op):
+                continue
+            granted = self._try_acquire_resources(op)
+            self.stats.resource_requests += 1
+            if not granted:
+                self.stats.resource_denials += 1
+                continue
+            self._start_execution(op)
+            issued += 1
+
+    def _wants_issue(self, op: InflightOp) -> bool:
+        if op.squashed or op.issued or not op.executes:
+            return False
+        if op.dispatch_cycle >= self.cycle:
+            return False
+        if op.reexec_earliest is not None:
+            return self.cycle >= op.reexec_earliest
+        return not op.completed
+
+    def _can_issue(self, op: InflightOp) -> bool:
+        if op.is_load:
+            return self._load_can_issue(op)
+        if op.is_store:
+            return op.operands_ready(self.cycle)
+        return op.operands_ready(self.cycle)
+
+    def _load_can_issue(self, op: InflightOp) -> bool:
+        address = self._load_address(op)
+        if address is None:
+            return False
+        # Table 1: loads execute only after all preceding store addresses
+        # are known (reused/predicted addresses count as known).
+        for store in self.lsq:
+            if store.seq >= op.seq:
+                break
+            if not store.is_store or store.squashed:
+                continue
+            known = store.addr_known_cycle
+            if known is None or known >= self.cycle:
+                return False
+        forwarding = self._forwarding_store(op, address)
+        if forwarding is not None:
+            # Need the store's data before the value can be bypassed.
+            data_reg = forwarding.inst.rd
+            producer = forwarding.producers.get(data_reg)
+            if producer is not None:
+                ready = producer.reg_ready_cycle(data_reg)
+                if ready is None or ready >= self.cycle:
+                    return False
+        return True
+
+    def _load_address(self, op: InflightOp) -> Optional[int]:
+        """The address a load issuing now would use, or None if unknown."""
+        base = op.inst.rs
+        producer = op.producers.get(base)
+        base_ready = (producer is None
+                      or (producer.reg_ready_cycle(base) is not None
+                          and producer.reg_ready_cycle(base) < self.cycle))
+        if base_ready:
+            values = op.read_current_operands()
+            return u32(values.get(base, op.src_values.get(base, 0))
+                       + op.inst.imm)
+        if op.addr_reused or op.addr_predicted:
+            return op.current_addr
+        return None
+
+    def _forwarding_store(self, op: InflightOp,
+                          address: int) -> Optional[InflightOp]:
+        """Youngest older store whose known address overlaps the load's."""
+        nbytes = op.inst.opcode.mem_bytes
+        best = None
+        for store in self.lsq:
+            if store.seq >= op.seq:
+                break
+            if not store.is_store or store.squashed:
+                continue
+            store_addr = store.current_addr
+            if store_addr is None:
+                continue
+            store_bytes = store.inst.opcode.mem_bytes
+            if store_addr < address + nbytes \
+                    and address < store_addr + store_bytes:
+                best = store
+        return best
+
+    def _try_acquire_resources(self, op: InflightOp) -> bool:
+        opcode = op.inst.opcode
+        pool = self.fus.pools[opcode.op_class]
+        needs_port = False
+        if op.is_load:
+            address = self._load_address(op)
+            needs_port = self._forwarding_store(op, address) is None
+        if pool.available(self.cycle) == 0:
+            return False
+        if needs_port and self.dcache_ports.available(self.cycle) == 0:
+            return False
+        pool.try_issue(self.cycle, opcode.issue_interval)
+        if needs_port:
+            self.dcache_ports.try_acquire(self.cycle)
+        return True
+
+    def _start_execution(self, op: InflightOp) -> None:
+        op.issued = True
+        op.issue_cycle = self.cycle
+        op.reexec_earliest = None
+        op.stale = False
+        op.issue_read_values = op.read_current_operands()
+        latency = op.inst.opcode.latency
+        if op.is_mem:
+            address = (self._load_address(op) if op.is_load
+                       else self._store_address(op))
+            op.issue_addr = address
+            if op.is_load:
+                forwarding = self._forwarding_store(op, address)
+                op.forwarded_from = forwarding
+                if forwarding is None:
+                    latency += self.dcache.access_latency(address)
+                    self.stats.dcache_accesses += 1
+        op.completes_at = self.cycle + latency
+        self._schedule(op.completes_at, _EVENT_COMPLETE, op)
+
+    def _store_address(self, op: InflightOp) -> int:
+        values = op.issue_read_values
+        base = op.inst.rs
+        return u32(values.get(base, op.src_values.get(base, 0)) + op.inst.imm)
+
+    # --------------------------------------------------------------- completion --
+
+    def _on_complete(self, op: InflightOp) -> None:
+        op.issued = False
+        op.exec_count += 1
+        self.stats.execution_attempts += 1
+        first = not op.completed
+        if first:
+            self.stats.executed_instructions += 1
+        op.completed = True
+        op.last_completion_cycle = self.cycle
+        op.used_values = op.issue_read_values
+
+        new_value, new_hi = self._evaluate(op)
+        previous = op.current_value
+        if previous is None and op.predicted:
+            previous = op.predicted_value
+        previous_hi = op.current_hi
+        op.current_value = new_value
+        op.current_hi = new_hi
+
+        if op.ready_cycle is None:
+            op.ready_cycle = self.cycle
+        if op.value_ready_cycle is None:
+            op.value_ready_cycle = self.cycle
+        if op.hi_ready_cycle is None:
+            op.hi_ready_cycle = self.cycle
+
+        if op.is_mem:
+            self._complete_memory(op)
+
+        if self.ir is not None:
+            self.ir.insert(op)
+
+        if op.stale:
+            op.stale = False
+            self._schedule_reexec(op, self.cycle + 1)
+        else:
+            self._try_finalize(op)
+
+        correction = (op.nonspec_cycle
+                      if op.nonspec_cycle is not None
+                      and op.nonspec_cycle >= self.cycle else self.cycle)
+        if previous is not None and previous != new_value:
+            self._propagate_change(op, correction, hi=False)
+        if previous_hi is not None and previous_hi != new_hi:
+            self._propagate_change(op, correction, hi=True)
+
+        if op.nonspec_cycle is None and not op.stale \
+                and op.reexec_earliest is None:
+            self._maybe_schedule_final_reexec(op)
+
+        if op.is_control and not op.resolved_final \
+                and op.nonspec_cycle is None:
+            # Inputs still value-speculative: under SB the branch resolves
+            # now anyway (may be spurious); under NSB it waits (Sec 4.1.4).
+            if self.vp is not None and self.config.vp.branch_policy \
+                    == BranchPolicy.SPECULATIVE:
+                taken, target = self._computed_control(op)
+                self._resolve_control(op, taken, target, final=False)
+
+        if op.is_store:
+            if op.addr_known_cycle is None:
+                op.addr_known_cycle = self.cycle
+            self._check_memory_violations(op)
+            self._poke_younger_loads(op)
+
+    def _evaluate(self, op: InflightOp) -> Tuple[Optional[int], Optional[int]]:
+        """Result of this execution over the values actually read."""
+        inst, outcome = op.inst, op.outcome
+        values = op.used_values
+        if op.is_load:
+            address = op.issue_addr
+            op.used_addr = address
+            if address == outcome.mem_addr:
+                return outcome.result, None
+            opcode = inst.opcode
+            return self.spec.read_mem(address, opcode.mem_bytes,
+                                      opcode.mem_signed), None
+        if op.is_store:
+            op.used_addr = op.issue_addr
+            op.current_addr = op.issue_addr
+            return None, None
+        if inst.opcode.is_indirect:
+            a, _ = self._operand_pair(op, values)
+            op.current_addr = a  # computed jump target
+            return (outcome.result, None) if inst.opcode.is_call \
+                else (None, None)
+        if inst.opcode.is_branch:
+            if op.inputs_match_oracle(values):
+                return int(outcome.taken), None
+            a, b = self._operand_pair(op, values)
+            return int(bool(inst.opcode.eval_fn(a, b, inst.imm))), None
+        if op.inputs_match_oracle(values):
+            return outcome.result, outcome.result_hi
+        opcode = inst.opcode
+        a, b = self._operand_pair(op, values)
+        if opcode.writes_hi_lo:
+            pair = (mult_hi_lo(a, b) if opcode.name == "mult"
+                    else div_hi_lo(a, b))
+            return pair[1], pair[0]
+        return u32(opcode.eval_fn(a, b, inst.imm)), None
+
+    def _operand_pair(self, op: InflightOp,
+                      values: Dict[int, int]) -> Tuple[int, int]:
+        inst = op.inst
+        name = inst.opcode.name
+        if name in ("mfhi", "mflo"):
+            reg = REG_HI if name == "mfhi" else REG_LO
+            return values.get(reg, 0), 0
+        if inst.opcode.fmt.name == "BRANCH0":
+            return values.get(REG_FCC, 0), 0
+        a = values.get(inst.rs, op.src_values.get(inst.rs, 0)) \
+            if inst.rs else 0
+        b = values.get(inst.rt, op.src_values.get(inst.rt, 0)) \
+            if inst.rt else 0
+        return a, b
+
+    def _complete_memory(self, op: InflightOp) -> None:
+        if op.is_load:
+            op.current_addr = op.used_addr
+            if op.addr_known_cycle is None:
+                op.addr_known_cycle = self.cycle
+
+    def _computed_control(self, op: InflightOp) -> Tuple[bool, int]:
+        if op.inst.opcode.is_branch:
+            return bool(op.current_value), op.inst.target
+        return True, op.current_value  # indirect jump: target is the value
+
+    def _propagate_change(self, op: InflightOp, correction_cycle: int,
+                          hi: bool) -> None:
+        """My broadcast value changed: dependents must re-execute.
+
+        Only the head of a dependent chain pays the verification penalty
+        (correction_cycle already includes it); the rest re-issue as the
+        corrected values flow (Section 4.1.3).
+        """
+        reexec_on_spec = (self.vp is None
+                          or self.config.vp.reexec_policy
+                          == ReexecPolicy.MULTIPLE)
+        final = op.nonspec_cycle is not None
+        for consumer, reg in op.consumers:
+            if consumer.squashed:
+                continue
+            is_hi = reg == REG_HI and op.inst.opcode.writes_hi_lo
+            if is_hi != hi:
+                continue
+            if not (final or reexec_on_spec):
+                continue  # NME: ignore speculative value changes
+            if consumer.issued:
+                consumer.stale = True
+            elif consumer.completed:
+                if consumer.used_values.get(reg) != op.value_for_reg(reg):
+                    self._schedule_reexec(consumer, correction_cycle + 1)
+
+    def _schedule_reexec(self, op: InflightOp, earliest: int) -> None:
+        if op.squashed:
+            return
+        if op.reexec_earliest is None or op.reexec_earliest > earliest:
+            op.reexec_earliest = earliest
+        op.nonspec_cycle = None
+
+    def _maybe_schedule_final_reexec(self, op: InflightOp) -> None:
+        """My inputs were wrong and their producers already finalized:
+        nobody will send another change event, so self-schedule the
+        (single) re-execution after the corrected values."""
+        latest = self.cycle
+        mismatch = False
+        for reg, producer in op.producers.items():
+            if producer.nonspec_cycle is None:
+                continue
+            if op.used_values.get(reg) != producer.final_value_for_reg(reg):
+                mismatch = True
+                latest = max(latest, producer.nonspec_cycle)
+        if op.is_load and op.used_addr != op.outcome.mem_addr \
+                and self._load_address_final(op):
+            mismatch = True
+        if mismatch:
+            self._schedule_reexec(op, latest + 1)
+
+    def _load_address_final(self, op: InflightOp) -> bool:
+        base = op.inst.rs
+        producer = op.producers.get(base)
+        return producer is None or producer.nonspec_cycle is not None
+
+    # --------------------------------------------------------------- finalization --
+
+    def _try_finalize(self, op: InflightOp) -> None:
+        """Establish non-speculative status (verification) if possible."""
+        if op.squashed or op.nonspec_cycle is not None:
+            return
+        if not op.completed or op.issued or op.stale \
+                or op.reexec_earliest is not None:
+            return
+        when = op.last_completion_cycle
+        for reg, producer in op.producers.items():
+            if producer.nonspec_cycle is None:
+                return
+            if op.used_values.get(reg) != producer.final_value_for_reg(reg):
+                return
+            when = max(when, producer.nonspec_cycle)
+        if op.is_mem:
+            if op.used_addr is not None \
+                    and op.used_addr != op.outcome.mem_addr:
+                # Wrong (predicted/propagated) address; once the base
+                # register is final nobody else will wake us, so schedule
+                # the corrective re-execution here.
+                if self._load_address_final(op):
+                    self._schedule_reexec(op, self.cycle + 1)
+                return
+            if op.is_load and not self._older_store_addrs_final(op):
+                return
+        if op.predicted or op.addr_predicted:
+            when += self.verify_latency
+        op.nonspec_cycle = when
+
+        if op.is_control and not op.resolved_final:
+            if when <= self.cycle:
+                taken, target = self._final_resolution(op)
+                self._resolve_control(op, taken, target, final=True)
+            else:
+                self._schedule(when, _EVENT_RESOLVE, op)
+
+        for consumer, reg in list(op.consumers):
+            if consumer.squashed:
+                continue
+            final_value = op.final_value_for_reg(reg)
+            if consumer.issued:
+                if consumer.issue_read_values.get(reg) != final_value:
+                    consumer.stale = True
+            elif consumer.completed:
+                if consumer.used_values.get(reg) != final_value:
+                    self._schedule_reexec(consumer, max(when, self.cycle) + 1)
+                else:
+                    self._try_finalize(consumer)
+            if consumer.is_store or consumer.is_load:
+                self._poke_younger_loads(consumer)
+        if op.is_store:
+            self._poke_younger_loads(op)
+
+    def _older_store_addrs_final(self, op: InflightOp) -> bool:
+        for store in self.lsq:
+            if store.seq >= op.seq:
+                break
+            if store.is_store and not store.squashed \
+                    and not self._store_addr_final(store):
+                return False
+        return True
+
+    def _store_addr_final(self, store: InflightOp) -> bool:
+        if store.addr_reused:
+            return True
+        if not store.completed or store.used_addr != store.outcome.mem_addr:
+            return False
+        base = store.inst.rs
+        producer = store.producers.get(base)
+        return producer is None or producer.nonspec_cycle is not None
+
+    def _poke_younger_loads(self, mem_op: InflightOp) -> None:
+        # Snapshot: finalizing a load can cascade into a branch resolution
+        # that squashes (and therefore mutates) the LSQ.
+        for load in list(self.lsq):
+            if load.seq <= mem_op.seq or not load.is_load or load.squashed:
+                continue
+            self._try_finalize(load)
+
+    def _check_memory_violations(self, store: InflightOp) -> None:
+        """A store's address just resolved: replay loads it invalidates."""
+        address = store.current_addr
+        nbytes = store.inst.opcode.mem_bytes
+        for load in self.lsq:
+            if load.seq <= store.seq or not load.is_load or load.squashed:
+                continue
+            if not load.completed and not load.issued:
+                continue
+            load_addr = load.used_addr if load.completed else load.issue_addr
+            if load_addr is None:
+                continue
+            load_bytes = load.inst.opcode.mem_bytes
+            overlaps = (address < load_addr + load_bytes
+                        and load_addr < address + nbytes)
+            forwarded_here = load.forwarded_from is store
+            if overlaps != forwarded_here:
+                if load.issued:
+                    load.stale = True
+                else:
+                    self._schedule_reexec(load, self.cycle + 1)
+
+    def _store_conflict(self, op: InflightOp, address: int,
+                        nbytes: int) -> bool:
+        """Reuse-test helper: does an older in-flight store overlap?"""
+        for store in self.lsq:
+            if store.seq >= op.seq:
+                break
+            if not store.is_store or store.squashed:
+                continue
+            store_addr = store.outcome.mem_addr
+            store_bytes = store.inst.opcode.mem_bytes
+            if store_addr < address + nbytes \
+                    and address < store_addr + store_bytes:
+                return True
+        return False
+
+    # ---------------------------------------------------------------- resolution --
+
+    def _final_resolution(self, op: InflightOp) -> Tuple[bool, int]:
+        """The true (non-speculative) outcome of a control instruction."""
+        if op.inst.opcode.is_branch:
+            return bool(op.outcome.taken), op.inst.target
+        return True, op.outcome.next_pc
+
+    def _resolve_control(self, op: InflightOp, taken: bool, target: int,
+                         final: bool) -> None:
+        inst = op.inst
+        actual_next = target if taken else inst.next_pc
+        believed_next = (op.believed_target if op.believed_taken
+                         else inst.next_pc)
+        op.last_resolution_cycle = self.cycle
+        if actual_next != believed_next:
+            had_path = believed_next is not None
+            op.believed_taken = taken
+            op.believed_target = target
+            self._squash_after(op, actual_next, count=had_path,
+                               spurious=not final)
+        if final and not op.resolved_final:
+            op.resolved_final = True
+            if op.nonspec_cycle is None:
+                op.nonspec_cycle = self.cycle
+            if op.checkpoint is not None:
+                self.unresolved_control -= 1
+
+    def _squash_after(self, op: InflightOp, redirect: int, count: bool,
+                      spurious: bool) -> None:
+        if count:
+            self.stats.branch_squashes += 1
+            if spurious:
+                self.stats.spurious_squashes += 1
+        while self.rob and self.rob[-1].seq > op.seq:
+            victim = self.rob.pop()
+            victim.squashed = True
+            self.stats.squashed_instructions += 1
+            if self.vp is not None:
+                if victim.predicted:
+                    self.vp.abort_result(victim.inst.pc)
+                if victim.addr_predicted:
+                    self.vp.abort_address(victim.inst.pc)
+            if victim.exec_count > 0:
+                self.stats.squashed_executed += 1
+                if self.ir is not None:
+                    self.ir.note_squashed(victim)
+            if victim.checkpoint is not None:
+                if not victim.resolved_final:
+                    self.unresolved_control -= 1
+                self.spec.release_checkpoint(victim.checkpoint)
+                victim.checkpoint = None
+        while self.lsq and self.lsq[-1].squashed:
+            self.lsq.pop()
+        self.spec.restore(op.checkpoint)
+        self.rename = dict(op.rename_snapshot)
+        self._repair_predictor(op)
+        self.fetch_unit.redirect(redirect, self.cycle)
+        if self.halt_dispatched is not None and self.halt_dispatched.squashed:
+            self.halt_dispatched = None
+
+    def _repair_predictor(self, op: InflightOp) -> None:
+        inst = op.inst
+        if inst.opcode.is_branch:
+            self.predictor.repair(op.prediction, bool(op.believed_taken),
+                                  is_conditional=True)
+        elif inst.opcode.is_call:
+            self.predictor.repair_call(op.prediction, inst.next_pc)
+        else:
+            self.predictor.repair(op.prediction, True, is_conditional=False)
+
+    # -------------------------------------------------------------------- commit --
+
+    def _commit(self) -> None:
+        committed = 0
+        while self.rob and committed < self.config.commit_width:
+            op = self.rob[0]
+            if not op.completed or op.nonspec_cycle is None \
+                    or op.nonspec_cycle >= self.cycle:
+                break
+            if op.is_control and not op.resolved_final:
+                break
+            self.rob.popleft()
+            if op.is_mem:
+                head = self.lsq.popleft()
+                assert head is op, "LSQ out of sync with ROB"
+            self._commit_one(op)
+            committed += 1
+            if op.inst.opcode.is_halt:
+                self.halted = True
+                self.stats.halted = True
+                break
+
+    def _commit_one(self, op: InflightOp) -> None:
+        inst, outcome = op.inst, op.outcome
+        stats = self.stats
+        stats.committed += 1
+        if op.exec_count > 0:
+            stats.record_exec_histogram(op.exec_count)
+
+        if op.checkpoint is not None:
+            self.spec.release_checkpoint(op.checkpoint)
+            op.checkpoint = None
+
+        if inst.opcode.is_branch:
+            stats.cond_branches += 1
+            if op.prediction.taken == outcome.taken:
+                stats.cond_branch_correct += 1
+            stats.branch_resolution_cycles += (op.last_resolution_cycle
+                                               - op.dispatch_cycle)
+            stats.branch_resolution_count += 1
+            self.predictor.commit_branch(inst.pc, bool(outcome.taken),
+                                         op.prediction)
+        elif inst.is_return:
+            stats.returns += 1
+            if op.prediction and op.prediction.target == outcome.next_pc:
+                stats.returns_correct += 1
+        elif inst.opcode.is_indirect:
+            self.predictor.commit_indirect(inst.pc, outcome.next_pc)
+
+        if inst.opcode.is_mem:
+            stats.memory_ops += 1
+        if op.is_store and self.ir is not None:
+            self.ir.on_store_commit(outcome.mem_addr, inst.opcode.mem_bytes)
+
+        if self.vp is not None:
+            self._train_vp(op)
+        if op.reuse_hit_full:
+            stats.ir_result_reused += 1
+        if op.reuse_hit_addr:
+            stats.ir_addr_reused += 1
+
+        if self.oracle is not None:
+            self._verify_commit(op)
+        if self.on_commit is not None:
+            self.on_commit(op, self.cycle)
+
+    def _train_vp(self, op: InflightOp) -> None:
+        inst, outcome = op.inst, op.outcome
+        stats = self.stats
+        if self.config.vp.predict_results and inst.dest_regs \
+                and outcome.result is not None and not inst.opcode.is_store \
+                and op.executes and not op.is_control:
+            stats.vp_result_lookups += 1
+            if op.predicted:
+                stats.vp_result_predicted += 1
+                if op.predicted_value == outcome.result:
+                    stats.vp_result_correct += 1
+            self.vp.train_result(inst.pc, outcome.result,
+                                 op.predicted_value if op.predicted else None)
+        if inst.opcode.is_mem:
+            stats.vp_addr_lookups += 1
+            if op.addr_predicted:
+                stats.vp_addr_predicted += 1
+                if op.predicted_addr == outcome.mem_addr:
+                    stats.vp_addr_correct += 1
+            self.vp.train_address(inst.pc, outcome.mem_addr,
+                                  op.predicted_addr if op.addr_predicted
+                                  else None)
+
+    def _verify_commit(self, op: InflightOp) -> None:
+        expected = self.oracle.step()
+        if expected.pc != op.inst.pc:
+            raise SimulationError(
+                f"commit diverged: oracle at {expected.pc:#x}, "
+                f"core committed {op.inst.pc:#x} (cycle {self.cycle})")
+        if expected.writes != op.outcome.writes:
+            raise SimulationError(
+                f"commit wrote {op.outcome.writes} but oracle wrote "
+                f"{expected.writes} at {op.inst}")
+
+    # --------------------------------------------------------------------- stats --
+
+    def _finalize_stats(self) -> None:
+        stats = self.stats
+        stats.fetched = self.fetch_unit.fetched
+        stats.icache_misses = self.fetch_unit.icache.misses
+        stats.dcache_misses = self.dcache.misses

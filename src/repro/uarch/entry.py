@@ -1,0 +1,195 @@
+"""The in-flight (ROB-resident) dynamic instruction record.
+
+Timing semantics used throughout the core:
+
+* a value with ``ready_cycle == r`` can be consumed by an execution issuing
+  at cycle ``r + 1`` or later;
+* a value-predicted or reused result is available at the dispatch cycle;
+* ``nonspec_cycle`` is the cycle at which the value became non-value-
+  speculative (verified); for non-VP configurations this equals the
+  completion cycle.  Commit requires it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from ..functional.simulator import ExecOutcome
+from ..isa.instruction import Instruction
+from ..isa.opcodes import REG_HI
+from .branch_predictor import BranchPrediction
+from .spec_state import Checkpoint
+
+
+class InflightOp:
+    """One dynamic instruction from dispatch to commit (or squash)."""
+
+    __slots__ = (
+        "seq", "inst", "outcome", "dispatch_cycle",
+        "producers", "src_values", "consumers",
+        "completed", "ready_cycle", "value_ready_cycle", "hi_ready_cycle",
+        "nonspec_cycle", "current_value", "current_hi",
+        "exec_count", "issued", "completes_at", "issue_read_values",
+        "used_values", "used_addr", "stale", "reexec_earliest",
+        "pending_final_reexec",
+        "predicted", "predicted_value", "prediction_way",
+        "addr_predicted", "predicted_addr", "addr_prediction_way",
+        "reused", "addr_reused", "reuse_value", "rb_entry",
+        "prediction", "believed_taken", "believed_target",
+        "resolved_final", "last_resolution_cycle", "checkpoint",
+        "current_addr", "addr_known_cycle", "forwarded_from",
+        "rename_snapshot", "issue_cycle", "issue_addr",
+        "last_completion_cycle", "reuse_hit_full", "reuse_hit_addr",
+        "executes", "squashed",
+    )
+
+    def __init__(self, seq: int, inst: Instruction, outcome: ExecOutcome,
+                 dispatch_cycle: int):
+        self.seq = seq
+        self.inst = inst
+        self.outcome = outcome
+        self.dispatch_cycle = dispatch_cycle
+
+        # Register dataflow, fixed at rename time.
+        self.producers: Dict[int, "InflightOp"] = {}  # src reg -> producer
+        self.src_values: Dict[int, int] = {}  # dispatch-time (oracle) values
+        self.consumers: List[Tuple["InflightOp", int]] = []  # (consumer, reg)
+
+        # Timing state.
+        self.completed = False  # final execution done (commit gating)
+        self.ready_cycle: Optional[int] = None  # first value broadcast
+        self.value_ready_cycle: Optional[int] = None  # incl. predictions
+        self.hi_ready_cycle: Optional[int] = None  # HI of mult/div
+        self.nonspec_cycle: Optional[int] = None
+        self.current_value: Optional[int] = None
+        self.current_hi: Optional[int] = None
+
+        # Execution machinery.
+        self.exec_count = 0
+        self.issued = False  # an execution is in flight
+        self.completes_at: Optional[int] = None
+        self.issue_read_values: Dict[int, int] = {}
+        self.used_values: Dict[int, int] = {}  # per-src values last read
+        self.used_addr: Optional[int] = None  # address last used (mem ops)
+        self.stale = False  # inputs changed while executing
+        self.reexec_earliest: Optional[int] = None  # pending re-execution
+        self.pending_final_reexec = False  # NME: re-exec when inputs final
+
+        # Value prediction.
+        self.predicted = False
+        self.predicted_value: Optional[int] = None
+        self.prediction_way: Optional[int] = None
+        self.addr_predicted = False
+        self.predicted_addr: Optional[int] = None
+        self.addr_prediction_way: Optional[int] = None
+
+        # Instruction reuse.
+        self.reused = False
+        self.addr_reused = False
+        self.reuse_value: Optional[int] = None
+        self.rb_entry = None  # entry this op inserted (for squash recovery)
+
+        # Control.
+        self.prediction: Optional[BranchPrediction] = None
+        self.believed_taken: Optional[bool] = None
+        self.believed_target: Optional[int] = None
+        self.resolved_final = False
+        self.last_resolution_cycle: Optional[int] = None
+        self.checkpoint: Optional[Checkpoint] = None
+
+        # Memory.
+        self.current_addr: Optional[int] = None
+        self.addr_known_cycle: Optional[int] = None  # stores: disambiguation
+        self.forwarded_from: Optional["InflightOp"] = None
+
+        opcode = inst.opcode
+        # Direct jumps (j/jal) and nops never execute: their outcome is
+        # fully known at fetch.  Indirect jumps execute for their target.
+        self.executes = (opcode.is_indirect
+                         or (opcode.op_class.name != "NOP"
+                             and not opcode.is_jump))
+
+        self.rename_snapshot = None  # rename-map copy for squash recovery
+        self.issue_cycle: Optional[int] = None
+        self.issue_addr: Optional[int] = None
+        self.last_completion_cycle: Optional[int] = None
+        self.reuse_hit_full = False  # statistics flags (Table 3)
+        self.reuse_hit_addr = False
+
+        self.squashed = False
+
+    # -- classification helpers ----------------------------------------------------
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return self.inst.opcode.is_branch
+
+    @property
+    def is_control(self) -> bool:
+        return self.inst.opcode.is_control
+
+    @property
+    def needs_checkpoint(self) -> bool:
+        """Control whose next PC was predicted (can mispredict)."""
+        op = self.inst.opcode
+        return op.is_branch or op.is_indirect
+
+    @property
+    def is_load(self) -> bool:
+        return self.inst.opcode.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.inst.opcode.is_store
+
+    @property
+    def is_mem(self) -> bool:
+        return self.inst.opcode.is_mem
+
+    # -- dataflow helpers ------------------------------------------------------------
+
+    def value_for_reg(self, reg: int) -> Optional[int]:
+        """Current broadcast value of my dest *reg* (HI vs LO aware)."""
+        if reg == REG_HI and self.inst.opcode.writes_hi_lo:
+            return self.current_hi
+        return self.current_value
+
+    def reg_ready_cycle(self, reg: int) -> Optional[int]:
+        """When my dest *reg* became available to consumers."""
+        if reg == REG_HI and self.inst.opcode.writes_hi_lo:
+            return self.hi_ready_cycle
+        return self.value_ready_cycle
+
+    def final_value_for_reg(self, reg: int) -> Optional[int]:
+        """Value of *reg* once I am non-speculative (oracle along my path)."""
+        if reg == REG_HI and self.inst.opcode.writes_hi_lo:
+            return self.outcome.result_hi
+        return self.outcome.result
+
+    def operands_ready(self, issue_cycle: int) -> bool:
+        """Can an execution issuing at *issue_cycle* read all register inputs?"""
+        for reg, producer in self.producers.items():
+            ready = producer.reg_ready_cycle(reg)
+            if ready is None or ready >= issue_cycle:
+                return False
+        return True
+
+    def read_current_operands(self) -> Dict[int, int]:
+        """Snapshot the *current* values of all source registers."""
+        values: Dict[int, int] = {}
+        for reg in self.inst.src_regs:
+            producer = self.producers.get(reg)
+            if producer is None:
+                values[reg] = self.src_values[reg]
+            else:
+                current = producer.value_for_reg(reg)
+                values[reg] = (current if current is not None
+                               else self.src_values[reg])
+        return values
+
+    def inputs_match_oracle(self, values: Dict[int, int]) -> bool:
+        return all(values[reg] == self.src_values[reg] for reg in values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<op#{self.seq} {self.inst.opcode.name}@{self.inst.pc:#x}"
+                f"{' squashed' if self.squashed else ''}>")

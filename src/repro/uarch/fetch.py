@@ -1,0 +1,119 @@
+"""Instruction fetch: 4/cycle, one taken branch, no line crossing (Table 1)."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from ..isa.instruction import INSTRUCTION_BYTES, Instruction
+from ..isa.program import Program
+from .branch_predictor import BranchPrediction, BranchPredictorUnit
+from .cache import SetAssocCache
+from .config import MachineConfig
+
+
+@dataclass
+class FetchedInst:
+    """One instruction in the fetch queue, with its fetch-time prediction."""
+
+    inst: Instruction
+    prediction: Optional[BranchPrediction]  # set for predicted control
+    fetch_cycle: int
+
+
+class FetchUnit:
+    """Front end: I-cache + branch prediction + fetch queue."""
+
+    def __init__(self, config: MachineConfig, program: Program,
+                 predictor: BranchPredictorUnit):
+        self.config = config
+        self.program = program
+        self.predictor = predictor
+        self.icache = SetAssocCache(config.icache, "icache")
+        self.queue: Deque[FetchedInst] = deque()
+        self.fetch_pc = program.entry_point
+        self.stall_until = 0  # I-cache miss in progress
+        self.blocked = False  # unknown next PC (unpredicted indirect/halt)
+        self.fetched = 0
+
+    def redirect(self, target: int, cycle: int) -> None:
+        """Squash recovery: restart fetch at *target* next cycle."""
+        self.queue.clear()
+        self.fetch_pc = target
+        self.blocked = False
+        self.stall_until = max(self.stall_until, cycle + 1)
+
+    def room(self) -> int:
+        return self.config.fetch_queue_size - len(self.queue)
+
+    def step(self, cycle: int) -> int:
+        """Fetch up to ``fetch_width`` instructions; returns how many."""
+        if self.blocked or cycle < self.stall_until:
+            return 0
+        fetched = 0
+        line_shift = self.icache.line_shift
+        current_line = None
+        while fetched < self.config.fetch_width and self.room() > 0:
+            pc = self.fetch_pc
+            inst = self.program.fetch(pc)
+            if inst is None:
+                # Fell off the program (wrong path): wait for a redirect.
+                self.blocked = True
+                break
+            line = pc >> line_shift
+            if current_line is None:
+                if not self.icache.access(pc):
+                    self.stall_until = cycle + self.config.icache.miss_latency
+                    break
+                current_line = line
+            elif line != current_line:
+                break  # cannot fetch across a cache line boundary
+
+            prediction, next_pc, stop = self._predict(inst)
+            self.queue.append(FetchedInst(inst, prediction, cycle))
+            fetched += 1
+            self.fetched += 1
+            if inst.opcode.is_halt:
+                self.blocked = True
+                break
+            if next_pc is None:
+                self.blocked = True  # unpredicted indirect target
+                break
+            self.fetch_pc = next_pc
+            if stop:
+                break  # only one taken branch per cycle
+        return fetched
+
+    def _predict(self, inst: Instruction):
+        """Predict control flow; returns (prediction, next_pc, stop_group)."""
+        op = inst.opcode
+        if op.is_branch:
+            prediction = self.predictor.predict_branch(inst.pc, inst.target)
+            if prediction.taken:
+                return prediction, inst.target, True
+            return prediction, inst.next_pc, False
+        if op.is_jump:
+            if op.is_call:
+                target = None if op.is_indirect else inst.target
+                prediction = self.predictor.predict_call(
+                    inst.pc, inst.next_pc, target)
+            elif inst.is_return:
+                prediction = self.predictor.predict_return(inst.pc)
+            elif op.is_indirect:
+                prediction = self.predictor.predict_indirect(inst.pc)
+            else:  # direct j: target always known (ideal BTB)
+                prediction = BranchPrediction(
+                    True, inst.target, self.predictor.gshare.history,
+                    self.predictor.ras.snapshot())
+            return prediction, prediction.target, True
+        return None, inst.next_pc, False
+
+    def pop(self) -> FetchedInst:
+        return self.queue.popleft()
+
+    def peek(self) -> Optional[FetchedInst]:
+        return self.queue[0] if self.queue else None
+
+    def __len__(self) -> int:
+        return len(self.queue)

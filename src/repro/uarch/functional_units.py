@@ -1,0 +1,71 @@
+"""Functional-unit pools with the paper's latency/issue-interval model.
+
+Table 1 gives "FU latency (total/issue)" pairs: *total* is the execution
+latency, *issue* is how long the unit stays busy before accepting another
+operation (19 for the non-pipelined integer divider, 1 for pipelined units).
+Branches execute on integer ALUs; loads and stores share the two
+load/store units.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..isa.opcodes import OpClass
+from .config import MachineConfig
+
+
+class FUPool:
+    """A pool of identical units, each tracked by its next-free cycle."""
+
+    def __init__(self, name: str, count: int):
+        self.name = name
+        self.busy_until: List[int] = [0] * count
+        self.grants = 0
+        self.denials = 0
+
+    def try_issue(self, cycle: int, issue_interval: int) -> bool:
+        """Reserve a unit at *cycle* for *issue_interval* cycles."""
+        for index, free_at in enumerate(self.busy_until):
+            if free_at <= cycle:
+                self.busy_until[index] = cycle + issue_interval
+                self.grants += 1
+                return True
+        self.denials += 1
+        return False
+
+    def available(self, cycle: int) -> int:
+        return sum(1 for free_at in self.busy_until if free_at <= cycle)
+
+
+class FunctionalUnits:
+    """All execution resources of the machine, keyed by :class:`OpClass`."""
+
+    def __init__(self, config: MachineConfig):
+        alu = FUPool("int_alu", config.int_alus)
+        load_store = FUPool("load_store", config.load_store_units)
+        mult_div = FUPool("int_mult_div", config.int_mult_div_units)
+        fp_add = FUPool("fp_add", config.fp_adders)
+        fp_mult_div = FUPool("fp_mult_div", config.fp_mult_div_units)
+        self.pools: Dict[OpClass, FUPool] = {
+            OpClass.INT_ALU: alu,
+            OpClass.BRANCH: alu,  # branches execute on integer ALUs
+            OpClass.LOAD_STORE: load_store,
+            OpClass.INT_MULT: mult_div,
+            OpClass.INT_DIV: mult_div,
+            OpClass.FP_ADD: fp_add,
+            OpClass.FP_MUL_DIV: fp_mult_div,
+            OpClass.NOP: alu,
+        }
+
+    def try_issue(self, op_class: OpClass, cycle: int,
+                  issue_interval: int) -> bool:
+        return self.pools[op_class].try_issue(cycle, issue_interval)
+
+    def requests(self) -> int:
+        unique = {id(p): p for p in self.pools.values()}
+        return sum(p.grants + p.denials for p in unique.values())
+
+    def denials(self) -> int:
+        unique = {id(p): p for p in self.pools.values()}
+        return sum(p.denials for p in unique.values())

@@ -1,0 +1,115 @@
+"""Pipeline tracing: Figure-2-style views of committed instructions.
+
+Attach a :class:`PipelineTracer` to a core and run; the tracer records,
+for every committed instruction, the cycles at which it was dispatched,
+(last) issued, completed and committed, plus how its value was obtained
+(executed / value-predicted / reused).  ``render()`` produces a text
+table like the paper's Figure 2, with cycles relative to the first
+recorded dispatch.
+
+Example::
+
+    core = OutOfOrderCore(ir_config(), program)
+    tracer = PipelineTracer(core, limit=32)
+    core.run(max_cycles=10_000)
+    print(tracer.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..isa.instruction import format_instruction
+from .core import OutOfOrderCore
+from .entry import InflightOp
+
+
+@dataclass
+class TraceRecord:
+    """Lifetime of one committed instruction."""
+
+    pc: int
+    text: str
+    dispatch: int
+    issue: Optional[int]
+    complete: int
+    commit: int
+    executions: int
+    reused: bool
+    predicted: bool
+    prediction_correct: Optional[bool]
+
+    @property
+    def origin(self) -> str:
+        if self.reused:
+            return "reused"
+        if self.predicted:
+            suffix = "" if self.prediction_correct else " (wrong)"
+            return f"predicted{suffix}"
+        return "executed"
+
+
+class PipelineTracer:
+    """Collects :class:`TraceRecord` objects through the commit hook."""
+
+    def __init__(self, core: OutOfOrderCore, limit: int = 64,
+                 start_cycle: int = 0):
+        self.core = core
+        self.limit = limit
+        self.start_cycle = start_cycle
+        self.records: List[TraceRecord] = []
+        self._previous_hook = core.on_commit
+        core.on_commit = self._record
+
+    def _record(self, op: InflightOp, cycle: int) -> None:
+        if self._previous_hook is not None:
+            self._previous_hook(op, cycle)
+        if cycle < self.start_cycle or len(self.records) >= self.limit:
+            return
+        correct = None
+        if op.predicted:
+            correct = op.predicted_value == op.outcome.result
+        self.records.append(TraceRecord(
+            pc=op.inst.pc,
+            text=format_instruction(op.inst),
+            dispatch=op.dispatch_cycle,
+            issue=op.issue_cycle,
+            complete=op.last_completion_cycle,
+            commit=cycle,
+            executions=op.exec_count,
+            reused=op.reused,
+            predicted=op.predicted,
+            prediction_correct=correct,
+        ))
+
+    def detach(self) -> None:
+        self.core.on_commit = self._previous_hook
+
+    # -- rendering ------------------------------------------------------------------
+
+    def render(self, relative: bool = True) -> str:
+        """A Figure-2-style table: one committed instruction per row."""
+        if not self.records:
+            return "(no instructions traced)"
+        origin = min(r.dispatch for r in self.records) if relative else 0
+        width = max(len(r.text) for r in self.records)
+        lines = [f"{'pc':10s} {'instruction':{width}s} "
+                 f"{'disp':>5} {'issue':>5} {'done':>5} {'commit':>6}  how"]
+        lines.append("-" * (len(lines[0]) + 12))
+        for record in self.records:
+            issue = (str(record.issue - origin)
+                     if record.issue is not None else "-")
+            lines.append(
+                f"{record.pc:#010x} {record.text:{width}s} "
+                f"{record.dispatch - origin:>5} {issue:>5} "
+                f"{record.complete - origin:>5} "
+                f"{record.commit - origin:>6}  {record.origin}")
+        return "\n".join(lines)
+
+    def chain_spread(self) -> int:
+        """Cycles between the first and last commit in the trace."""
+        if not self.records:
+            return 0
+        return (max(r.commit for r in self.records)
+                - min(r.commit for r in self.records))

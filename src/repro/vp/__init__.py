@@ -1,0 +1,17 @@
+"""Value prediction: VPT structure and VP_Magic / VP_LVP predictors."""
+
+from .predictors import ValuePredictor, make_predictor
+from .stride import StrideEntry, StridePredictor, StrideTable
+from .table import KIND_ADDRESS, KIND_RESULT, ValuePredictionTable, VPTInstance
+
+__all__ = [
+    "ValuePredictor",
+    "make_predictor",
+    "StridePredictor",
+    "StrideTable",
+    "StrideEntry",
+    "ValuePredictionTable",
+    "VPTInstance",
+    "KIND_RESULT",
+    "KIND_ADDRESS",
+]

@@ -1,0 +1,22 @@
+"""SPECint95-analog workloads and the random program generator."""
+
+from .random_program import RandomProgramBuilder, random_program
+from .spec import (
+    PaperReference,
+    WorkloadSpec,
+    all_workloads,
+    get_workload,
+    register,
+    workload_names,
+)
+
+__all__ = [
+    "RandomProgramBuilder",
+    "random_program",
+    "PaperReference",
+    "WorkloadSpec",
+    "all_workloads",
+    "get_workload",
+    "register",
+    "workload_names",
+]

@@ -1,0 +1,181 @@
+"""compress analog: LZW-style dictionary compression.
+
+compress95 is the paper's showcase for *address* reuse: its hash-table
+loads hit the same addresses repeatedly while the stored codes keep
+changing as the dictionary evolves, so IR reuses 65.1% of addresses but
+only 16.5% of results (Table 3) — and VP_Magic likewise predicts far more
+addresses (43.4%) than results (20.5%).
+
+The analog compresses a deterministic, skewed byte stream with an LZW-ish
+loop: hash the (prefix, char) pair, probe a 512-entry open-addressed
+table (probe limit 8), extend the prefix on a hit, insert and emit on a
+miss.  The dictionary persists across passes — like real compress, whose
+dictionary saturates and then serves mostly lookups — but every pass
+clears a rotating 64-entry region and the code counter keeps growing, so
+a steady trickle of inserts keeps table *values* changing while probe
+*addresses* recur: the address-reuse-without-result-reuse signature.
+The per-char global statistics (in-count, checksum, periodic ratio
+check) replicate compress's bookkeeping: fixed-address memory traffic
+with ever-changing values.
+"""
+
+from __future__ import annotations
+
+from .spec import PaperReference, WorkloadSpec, register
+
+_INPUT_BYTES = 1024
+_TABLE_ENTRIES = 512  # (key word, code word) pairs
+_PROBE_LIMIT = 8
+_CLEAR_REGION = 24  # entries invalidated per pass (rotating)
+
+
+_SEEDS = {"ref": 12345, "train": 67891}
+
+
+def source(variant: str = "ref") -> str:
+    seed = _SEEDS[variant]
+    return f"""
+# compress analog: LZW dictionary compression over a skewed byte stream.
+.data
+input:  .space {_INPUT_BYTES}
+table:  .space {_TABLE_ENTRIES * 8}   # key, code pairs
+outcnt: .word 0
+incnt:  .word 0
+cksum:  .word 0
+ratio:  .word 0
+nextcode: .word 258
+passno: .word 0
+
+.text
+main:
+        jal init
+        li $s7, 0x7FFFFFFF     # pass budget
+
+pass_loop:
+        la $s0, input          # input cursor
+        li $s1, {_INPUT_BYTES}
+        li $s2, 0              # prefix code (0 = empty)
+        lw $s3, nextcode
+        li $s6, 0              # emitted-code checksum
+
+char_loop:
+        lbu $t0, 0($s0)        # next input byte
+        # ---- global statistics (compress's in_count/checksum/ratio):
+        # fixed-address loads whose values keep changing -> the address-
+        # reuse-without-result-reuse signature of Table 3 ----
+        lw $t8, incnt
+        addi $t8, $t8, 1
+        sw $t8, incnt
+        lw $t9, cksum
+        add $t9, $t9, $t0
+        sw $t9, cksum
+        andi $t7, $t8, 63      # periodic ratio check (predictable)
+        bnez $t7, no_ratio
+        lw $t7, outcnt
+        srl $t7, $t7, 2
+        sw $t7, ratio
+no_ratio:
+        # hash = ((prefix << 5) ^ char) & (entries - 1)
+        sll $t1, $s2, 5
+        xor $t1, $t1, $t0
+        andi $t1, $t1, {_TABLE_ENTRIES - 1}
+        # key = ((prefix << 8) | char) with bit 30 set (never zero)
+        sll $t2, $s2, 8
+        or $t2, $t2, $t0
+        lui $t3, 0x4000
+        or $t2, $t2, $t3
+        li $t9, {_PROBE_LIMIT}
+probe:
+        sll $t4, $t1, 3
+        la $t5, table
+        add $t4, $t4, $t5
+        lw $t6, 0($t4)         # stored key
+        beq $t6, $t2, hit
+        beqz $t6, miss
+        addi $t1, $t1, 1       # linear probe
+        andi $t1, $t1, {_TABLE_ENTRIES - 1}
+        addi $t9, $t9, -1
+        bnez $t9, probe
+        j emit                 # probe limit: emit without insert
+
+hit:    lw $s2, 4($t4)         # prefix = stored code
+        j advance
+
+miss:   sw $t2, 0($t4)         # insert (key, next code)
+        sw $s3, 4($t4)
+        addi $s3, $s3, 1
+        andi $s3, $s3, 0xFFFF  # codes stay 16-bit
+emit:
+        # emit current prefix
+        add $s6, $s6, $s2
+        lw $t7, outcnt
+        addi $t7, $t7, 1
+        sw $t7, outcnt
+        lbu $s2, 0($s0)        # restart prefix at this char
+
+advance:
+        addi $s0, $s0, 1
+        addi $s1, $s1, -1
+        bnez $s1, char_loop
+
+        # end of one pass: persist the code counter and clear a rotating
+        # region (the dictionary mostly survives, like saturated compress)
+        sw $s3, nextcode
+        jal clear_region
+        addi $s7, $s7, -1
+        bnez $s7, pass_loop
+        halt
+
+# ---- init: fill the input with a skewed pseudo-random byte stream ----
+init:
+        la $t0, input
+        li $t1, {_INPUT_BYTES}
+        li $t2, {seed}          # LCG state
+fill:
+        # x = x * 1103515245 + 12345 (mod 2^32)
+        li $t3, 1103515245
+        mult $t2, $t3
+        mflo $t2
+        addi $t2, $t2, 12345
+        # skew to a small alphabet: byte = 'a' + ((x >> 16) & 7)
+        srl $t4, $t2, 16
+        andi $t4, $t4, 7
+        addi $t4, $t4, 97
+        sb $t4, 0($t0)
+        addi $t0, $t0, 1
+        addi $t1, $t1, -1
+        bnez $t1, fill
+        jr $ra
+
+# ---- clear_region: invalidate a rotating 64-entry dictionary window ----
+clear_region:
+        lw $t2, passno
+        addi $t3, $t2, 1
+        sw $t3, passno
+        andi $t2, $t2, 15      # region 0..15
+        sll $t2, $t2, 8        # * 32 entries * 8 bytes
+        la $t0, table
+        add $t0, $t0, $t2
+        li $t1, {_CLEAR_REGION}
+clr:
+        sw $zero, 0($t0)
+        sw $zero, 4($t0)
+        addi $t0, $t0, 8
+        addi $t1, $t1, -1
+        bnez $t1, clr
+        jr $ra
+"""
+
+
+register(WorkloadSpec(
+    name="compress",
+    description="LZW-style dictionary compression of a skewed byte stream",
+    source_fn=source,
+    skip_instructions=12_000,  # past the init fill loop
+    paper=PaperReference(
+        inst_count_millions=421.2, branch_pred_rate=89.3,
+        return_pred_rate=100.0,
+        ir_result_rate=16.5, ir_addr_rate=65.1,
+        vp_magic_result_rate=20.5, vp_magic_addr_rate=43.4,
+        vp_lvp_result_rate=17.3, redundancy_repeated=80.0),
+))

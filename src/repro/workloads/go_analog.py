@@ -1,0 +1,159 @@
+"""go analog: board-scanning position evaluation with hard branches.
+
+go is the least predictable SPECint95 program (75.8% branch prediction in
+Table 2): its evaluation functions branch on quasi-random board contents.
+Redundancy is still substantial (24.3% IR reuse) because the board barely
+changes between successive evaluation sweeps, so the same loads and
+comparisons repeat.
+
+The analog sweeps a 19x19 board (bytes: 0 empty / 1 black / 2 white,
+seeded pseudo-randomly at init), branching per cell on its colour,
+counting neighbour liberties through a helper function, and accumulating
+an influence score.  After each sweep one stone is placed at a
+score-derived position, keeping the board nearly static across sweeps.
+"""
+
+from __future__ import annotations
+
+from .spec import PaperReference, WorkloadSpec, register
+
+_SIZE = 19
+_CELLS = _SIZE * _SIZE
+
+
+_SEEDS = {"ref": 987654321, "train": 192837465}
+
+
+def source(variant: str = "ref") -> str:
+    seed = _SEEDS[variant]
+    return f"""
+# go analog: position evaluation sweeps over a mostly-static board.
+.data
+board:  .space {_CELLS + 64}
+score:  .word 0
+
+.text
+main:
+        jal init
+        li $s7, 0x7FFFFFFF     # sweep budget
+
+sweep:
+        la $s0, board
+        li $s1, {_CELLS - _SIZE - 1}  # interior cells only
+        addi $s0, $s0, {_SIZE + 1}
+        li $s2, 0              # black influence
+        li $s3, 0              # white influence
+
+cell_loop:
+        lbu $t0, 0($s0)        # cell colour: data-dependent branches
+        beqz $t0, next_cell    # empty (~55%: hard to predict)
+        li $t1, 1
+        beq $t0, $t1, black_stone
+        # white stone
+        move $a0, $s0
+        jal liberties
+        add $s3, $s3, $v0
+        lbu $t2, 1($s0)        # right neighbour same colour?
+        li $t3, 2
+        bne $t2, $t3, next_cell
+        addi $s3, $s3, 3       # connection bonus
+        j next_cell
+black_stone:
+        move $a0, $s0
+        jal liberties
+        add $s2, $s2, $v0
+        lbu $t2, 1($s0)
+        li $t3, 1
+        bne $t2, $t3, next_cell
+        addi $s2, $s2, 3
+next_cell:
+        addi $s0, $s0, 1
+        addi $s1, $s1, -1
+        bnez $s1, cell_loop
+
+        # score = black - white; place one stone at a derived empty spot
+        sub $t0, $s2, $s3
+        lw $t1, score
+        add $t1, $t1, $t0
+        sw $t1, score
+        andi $t2, $t1, 255
+        li $t4, {_CELLS - 2}
+        slt $t5, $t2, $t4
+        bnez $t5, place_ok
+        li $t2, 40
+place_ok:
+        la $t3, board
+        add $t3, $t3, $t2
+        lbu $t6, 0($t3)
+        bnez $t6, skip_place   # only place on empty points
+        andi $t7, $t1, 1
+        addi $t7, $t7, 1       # colour 1 or 2
+        sb $t7, 0($t3)
+skip_place:
+        addi $s7, $s7, -1
+        bnez $s7, sweep
+        halt
+
+# ---- liberties($a0 = cell address): count empty 4-neighbours ----
+liberties:
+        addi $sp, $sp, -8      # compiled prologue (fixed stack addresses)
+        sw $ra, 0($sp)
+        li $v0, 0
+        lbu $t8, 1($a0)        # east
+        bnez $t8, lib_w
+        addi $v0, $v0, 1
+lib_w:  lbu $t8, -1($a0)       # west
+        bnez $t8, lib_n
+        addi $v0, $v0, 1
+lib_n:  lbu $t8, -{_SIZE}($a0) # north
+        bnez $t8, lib_s
+        addi $v0, $v0, 1
+lib_s:  lbu $t8, {_SIZE}($a0)  # south
+        bnez $t8, lib_done
+        addi $v0, $v0, 1
+lib_done:
+        lw $ra, 0($sp)         # compiled epilogue
+        addi $sp, $sp, 8
+        jr $ra
+
+# ---- init: seed the board ~45% stones from an LCG ----
+init:
+        la $t0, board
+        li $t1, {_CELLS}
+        li $t2, {seed}
+fill:
+        li $t3, 1103515245
+        mult $t2, $t3
+        mflo $t2
+        addi $t2, $t2, 12345
+        srl $t4, $t2, 13
+        andi $t4, $t4, 15      # 0..15
+        slti $t5, $t4, 9
+        bnez $t5, store_empty  # 9/16 empty
+        andi $t4, $t4, 1
+        addi $t4, $t4, 1       # 1 or 2
+        sb $t4, 0($t0)
+        j fill_next
+store_empty:
+        sb $zero, 0($t0)
+fill_next:
+        addi $t0, $t0, 1
+        addi $t1, $t1, -1
+        bnez $t1, fill
+        jr $ra
+"""
+
+
+register(WorkloadSpec(
+    name="go",
+    description="Board-position evaluation sweeps with data-dependent "
+                "branching (hardest branches in the suite)",
+    source_fn=source,
+    skip_instructions=4_500,
+    paper=PaperReference(
+        inst_count_millions=354.7, branch_pred_rate=75.8,
+        return_pred_rate=99.9,
+        ir_result_rate=24.3, ir_addr_rate=19.9,
+        vp_magic_result_rate=38.4, vp_magic_addr_rate=26.8,
+        vp_lvp_result_rate=30.4, redundancy_repeated=85.0),
+))

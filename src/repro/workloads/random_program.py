@@ -1,0 +1,234 @@
+"""Random well-formed program generator for differential testing.
+
+Generates structured assembly programs that terminate by construction
+(counted loops with dedicated counter registers, bounded call depth) while
+exercising every ISA feature the timing core models: dependent arithmetic
+chains, multiplies/divides, loads/stores with aliasing, data-dependent
+branches, calls/returns, and indirect jumps through tables.
+
+Used by the property-based tests: for any generated program, the
+out-of-order core — in *every* configuration (base, IR early/late, all VP
+variants) — must commit exactly the architectural state the in-order
+functional simulator produces.  This is the strongest correctness
+statement in the repository: VP and IR are performance features and must
+never change architectural results.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+# Registers the generator may freely clobber with computed values.
+_VALUE_REGS = ["$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+               "$s0", "$s1", "$s2", "$s3"]
+# Reserved: $s4/$s5 loop counters, $s6 memory base, $a0/$v0 call interface.
+_LOOP_REGS = ["$s4", "$s5"]
+_MEM_BASE = "$s6"
+_BUFFER_WORDS = 64
+
+_ALU_RRR = ["add", "sub", "and", "or", "xor", "nor", "slt", "sltu",
+            "addu", "subu", "sllv", "srlv", "srav"]
+_FP_REGS = [f"$f{i}" for i in range(1, 9)]
+_FP_RRR = ["add.s", "sub.s", "mul.s"]
+_FP_UNARY = ["abs.s", "neg.s", "mov.s", "sqrt.s"]
+_ALU_RRI = ["addi", "andi", "ori", "xori", "slti", "sll", "srl", "sra"]
+_BRANCHES = ["beq", "bne", "blt", "bge"]
+_LOADS = ["lw", "lh", "lhu", "lb", "lbu"]
+_STORES = ["sw", "sh", "sb"]
+
+
+class RandomProgramBuilder:
+    """Builds one random program; deterministic given the seed."""
+
+    def __init__(self, seed: int, size: int = 60):
+        self.rng = random.Random(seed)
+        self.size = max(10, size)
+        self.lines: List[str] = []
+        self.label_count = 0
+        self.loop_depth = 0
+        self.functions: List[str] = []
+
+    def _label(self, prefix: str = "L") -> str:
+        self.label_count += 1
+        return f"{prefix}{self.label_count}"
+
+    def _reg(self) -> str:
+        return self.rng.choice(_VALUE_REGS)
+
+    def _emit(self, text: str) -> None:
+        self.lines.append("        " + text)
+
+    # -- statement generators ---------------------------------------------------
+
+    def _gen_alu(self) -> None:
+        if self.rng.random() < 0.5:
+            op = self.rng.choice(_ALU_RRR)
+            self._emit(f"{op} {self._reg()}, {self._reg()}, {self._reg()}")
+        else:
+            op = self.rng.choice(_ALU_RRI)
+            if op in ("sll", "srl", "sra"):
+                imm = self.rng.randrange(0, 32)
+            else:
+                imm = self.rng.randrange(-128, 128)
+            self._emit(f"{op} {self._reg()}, {self._reg()}, {imm}")
+
+    def _gen_mult_div(self) -> None:
+        kind = self.rng.choice(["mul", "rem", "div"])
+        self._emit(f"{kind} {self._reg()}, {self._reg()}, {self._reg()}")
+
+    def _fp_reg(self) -> str:
+        return self.rng.choice(_FP_REGS)
+
+    def _gen_fp(self) -> None:
+        """A small FP block: load/compute/store on the FP buffer."""
+        choice = self.rng.random()
+        if choice < 0.3:
+            offset = 4 * self.rng.randrange(0, 8)
+            if self.rng.random() < 0.6:
+                self._emit(f"lwc1 {self._fp_reg()}, "
+                           f"{offset}({_MEM_BASE})")
+            else:
+                self._emit(f"swc1 {self._fp_reg()}, "
+                           f"{offset}({_MEM_BASE})")
+        elif choice < 0.55:
+            op = self.rng.choice(_FP_RRR)
+            self._emit(f"{op} {self._fp_reg()}, {self._fp_reg()}, "
+                       f"{self._fp_reg()}")
+        elif choice < 0.75:
+            op = self.rng.choice(_FP_UNARY)
+            self._emit(f"{op} {self._fp_reg()}, {self._fp_reg()}")
+        elif choice < 0.9:
+            self._emit(f"mtc1 {self._fp_reg()}, {self._reg()}")
+            self._emit(f"cvt.s.w {self._fp_reg()}, {self._fp_reg()}")
+        else:
+            label = self._label()
+            compare = self.rng.choice(["c.eq.s", "c.lt.s", "c.le.s"])
+            branch = self.rng.choice(["bc1t", "bc1f"])
+            self._emit(f"{compare} {self._fp_reg()}, {self._fp_reg()}")
+            self._emit(f"{branch} {label}")
+            self._gen_alu()
+            self.lines.append(f"{label}:")
+
+    def _gen_mem(self) -> None:
+        offset = 4 * self.rng.randrange(0, _BUFFER_WORDS)
+        if self.rng.random() < 0.5:
+            op = self.rng.choice(_LOADS)
+            align = {"lw": 4, "lh": 2, "lhu": 2}.get(op, 1)
+            offset -= offset % align
+            self._emit(f"{op} {self._reg()}, {offset}({_MEM_BASE})")
+        else:
+            op = self.rng.choice(_STORES)
+            align = {"sw": 4, "sh": 2}.get(op, 1)
+            offset -= offset % align
+            self._emit(f"{op} {self._reg()}, {offset}({_MEM_BASE})")
+
+    def _gen_indexed_mem(self) -> None:
+        """Load/store with a computed (data-dependent) address."""
+        index = self._reg()
+        addr = self._reg()
+        self._emit(f"andi {addr}, {index}, {4 * (_BUFFER_WORDS - 1)}")
+        self._emit(f"srl {addr}, {addr}, 2")
+        self._emit(f"sll {addr}, {addr}, 2")
+        self._emit(f"add {addr}, {addr}, {_MEM_BASE}")
+        if self.rng.random() < 0.5:
+            self._emit(f"lw {self._reg()}, 0({addr})")
+        else:
+            self._emit(f"sw {self._reg()}, 0({addr})")
+
+    def _gen_branch_skip(self) -> None:
+        """A data-dependent forward branch over a short block."""
+        label = self._label()
+        op = self.rng.choice(_BRANCHES)
+        self._emit(f"{op} {self._reg()}, {self._reg()}, {label}")
+        for _ in range(self.rng.randrange(1, 4)):
+            self._gen_alu()
+        self.lines.append(f"{label}:")
+
+    def _gen_loop(self) -> None:
+        if self.loop_depth >= len(_LOOP_REGS):
+            self._gen_alu()
+            return
+        counter = _LOOP_REGS[self.loop_depth]
+        self.loop_depth += 1
+        label = self._label("loop")
+        trips = self.rng.randrange(2, 6)
+        self._emit(f"li {counter}, {trips}")
+        self.lines.append(f"{label}:")
+        for _ in range(self.rng.randrange(2, 6)):
+            self._gen_statement(allow_control=self.loop_depth < 2)
+        self._emit(f"addi {counter}, {counter}, -1")
+        self._emit(f"bnez {counter}, {label}")
+        self.loop_depth -= 1
+
+    def _gen_call(self) -> None:
+        if not self.functions:
+            return
+        name = self.rng.choice(self.functions)
+        self._emit(f"move $a0, {self._reg()}")
+        self._emit(f"jal {name}")
+        self._emit(f"move {self._reg()}, $v0")
+
+    def _gen_statement(self, allow_control: bool = True) -> None:
+        choices = [(self._gen_alu, 8), (self._gen_mult_div, 1),
+                   (self._gen_mem, 3), (self._gen_indexed_mem, 1),
+                   (self._gen_fp, 2)]
+        if allow_control:
+            choices += [(self._gen_branch_skip, 2), (self._gen_loop, 1),
+                        (self._gen_call, 1)]
+        total = sum(weight for _, weight in choices)
+        pick = self.rng.randrange(total)
+        for generator, weight in choices:
+            if pick < weight:
+                generator()
+                return
+            pick -= weight
+
+    def _gen_function(self, name: str) -> List[str]:
+        body = [f"{name}:"]
+        ops = []
+        saved_lines = self.lines
+        self.lines = ops
+        for _ in range(self.rng.randrange(1, 5)):
+            self._gen_alu()
+        self.lines = saved_lines
+        body += ops
+        body.append("        add $v0, $a0, $t0")
+        body.append("        jr $ra")
+        return body
+
+    # -- whole program ----------------------------------------------------------
+
+    def build(self) -> str:
+        data_words = ", ".join(
+            str(self.rng.randrange(0, 2**16)) for _ in range(_BUFFER_WORDS))
+        function_blocks: List[str] = []
+        for _ in range(self.rng.randrange(0, 3)):
+            name = self._label("fn")
+            self.functions.append(name)
+            function_blocks += self._gen_function(name)
+
+        self.lines = []
+        self._emit(f"la {_MEM_BASE}, buffer")
+        for index, reg in enumerate(_VALUE_REGS):
+            self._emit(f"li {reg}, {self.rng.randrange(0, 2**12)}")
+        for reg in _FP_REGS:
+            value = self.rng.randrange(1, 2**10) / 8.0
+            self._emit(f"li.s {reg}, {value}")
+        statements = 0
+        while statements < self.size:
+            before = len(self.lines)
+            self._gen_statement()
+            statements += len(self.lines) - before
+        self._emit("halt")
+
+        parts = [".data", f"buffer: .word {data_words}", ".text"]
+        parts += function_blocks
+        parts.append("main:")
+        parts += self.lines
+        return "\n".join(parts)
+
+
+def random_program(seed: int, size: int = 60) -> str:
+    """Generate a random, terminating assembly program from *seed*."""
+    return RandomProgramBuilder(seed, size).build()

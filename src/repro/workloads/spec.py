@@ -1,0 +1,108 @@
+"""Workload registry: the seven SPECint95-analog programs.
+
+The paper evaluates go, m88ksim, ijpeg, perl, vortex, gcc and compress
+(Table 2).  We cannot ship SPEC binaries, so each analog is a hand-written
+assembly program that imitates the *computational character* of its
+namesake — the properties the paper's effects depend on:
+
+* result redundancy (SPECint: >75% of dynamic instructions repeat results),
+* branch predictability in the right band (Table 2: 75.8%..97.8%),
+* memory behaviour (e.g. compress reuses load addresses, not results),
+* call/return structure (Table 2 return rates ~100%).
+
+Each spec records the paper's Table 2/Table 3 reference numbers so the
+experiment harness can print paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..isa import Program, assemble
+
+
+@dataclass(frozen=True)
+class PaperReference:
+    """Numbers the paper reports for the original SPEC95 benchmark."""
+
+    inst_count_millions: float
+    branch_pred_rate: float  # percent
+    return_pred_rate: float  # percent
+    ir_result_rate: float  # percent of dynamic instructions (Table 3)
+    ir_addr_rate: float  # percent of memory operations
+    vp_magic_result_rate: float
+    vp_magic_addr_rate: float
+    vp_lvp_result_rate: float
+    redundancy_repeated: float = 85.0  # Figure 8 band (approximate)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One benchmark-analog: how to build and run it.
+
+    Like SPEC's ref/train inputs, every analog offers input *variants*:
+    the same program over a different deterministic input (the paper's
+    Table 2 lists one input per benchmark; variants let studies check
+    input sensitivity).  ``"ref"`` is the default.
+    """
+
+    name: str
+    description: str
+    source_fn: Callable[..., str]
+    skip_instructions: int  # functional fast-forward (init phase)
+    paper: PaperReference
+    variants: tuple = ("ref", "train")
+
+    def source(self, variant: str = "ref") -> str:
+        self._check(variant)
+        return self.source_fn(variant=variant)
+
+    def program(self, variant: str = "ref") -> Program:
+        return assemble(self.source(variant))
+
+    def _check(self, variant: str) -> None:
+        if variant not in self.variants:
+            raise ValueError(
+                f"{self.name} has no input variant {variant!r}; "
+                f"choose from {self.variants}")
+
+
+_REGISTRY: Dict[str, WorkloadSpec] = {}
+
+
+def register(spec: WorkloadSpec) -> WorkloadSpec:
+    if spec.name in _REGISTRY:
+        raise ValueError(f"duplicate workload {spec.name!r}")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    _ensure_loaded()
+    return _REGISTRY[name]
+
+
+def all_workloads() -> Dict[str, WorkloadSpec]:
+    _ensure_loaded()
+    return dict(_REGISTRY)
+
+
+def workload_names() -> list:
+    _ensure_loaded()
+    return list(_REGISTRY)
+
+
+def _ensure_loaded() -> None:
+    """Import the analog modules (each registers itself)."""
+    if _REGISTRY:
+        return
+    from . import (  # noqa: F401  (import for side effects)
+        go_analog,
+        m88ksim_analog,
+        ijpeg_analog,
+        perl_analog,
+        vortex_analog,
+        gcc_analog,
+        compress_analog,
+    )

@@ -1,0 +1,178 @@
+"""vortex analog: object-database lookups with validation calls.
+
+vortex95 is an OO database: hashed record lookups, field validation and
+occasional updates, with very regular control flow (97.8% branch
+prediction — the best in Table 2) and solid redundancy (20.9% IR reuse):
+the same keys are fetched repeatedly and validations usually succeed.
+
+The analog maintains 128 fixed records (id, type, value, checksum).  Each
+transaction hashes a key drawn from a cycling 32-key working set, probes
+the record array, validates the record through a called type-check
+(heavily skewed switch), updates its value, and occasionally (1 in 16)
+rewrites the checksum field.
+"""
+
+from __future__ import annotations
+
+from .spec import PaperReference, WorkloadSpec, register
+
+_RECORDS = 128
+_RECORD_BYTES = 16
+_KEYSET = 32
+
+
+_SEEDS = {"ref": 31415926, "train": 27182818}
+
+
+def source(variant: str = "ref") -> str:
+    seed = _SEEDS[variant]
+    return f"""
+# vortex analog: hashed record lookup / validate / update transactions.
+.data
+records: .space {_RECORDS * _RECORD_BYTES}   # id, type, value, checksum
+keys:    .space {_KEYSET * 4}
+applied: .word 0
+
+.text
+main:
+        jal init
+        li $s7, 0x7FFFFFFF
+        la $s5, keys           # wrapping key pointer (period {_KEYSET})
+        la $s4, keys
+        addi $s4, $s4, {_KEYSET * 4}   # one past the end
+
+txn:
+        # ---- fetch next key from the cycling working set ----
+        lw $a0, 0($s5)
+        addi $s5, $s5, 4
+        bne $s5, $s4, key_ok
+        la $s5, keys           # wrap: pointer values repeat every pass
+key_ok:
+
+        # ---- probe: slot = key & (records-1); ids placed so most probes
+        #      hit on the first compare (vortex-style regularity) ----
+        andi $t1, $a0, {_RECORDS - 1}
+probe:
+        sll $t2, $t1, 4
+        la $t3, records
+        add $s0, $t3, $t2      # record address
+        lw $t4, 0($s0)         # id
+        beq $t4, $a0, hit
+        addi $t1, $t1, 1       # rare collision: linear reprobe
+        andi $t1, $t1, {_RECORDS - 1}
+        j probe
+
+hit:
+        lw $a1, 4($s0)         # type
+        jal validate           # returns weight in $v0
+        beqz $v0, txn_next     # invalid type (rare)
+        # ---- update value ----
+        lw $t5, 8($s0)
+        add $t5, $t5, $v0
+        sw $t5, 8($s0)
+        lw $t6, applied
+        addi $t6, $t6, 1
+        sw $t6, applied
+        # ---- occasional checksum rewrite (every 16th key slot) ----
+        andi $t7, $s5, 63
+        bnez $t7, txn_next
+        lw $t8, 0($s0)
+        xor $t8, $t8, $t5
+        sw $t8, 12($s0)
+txn_next:
+        addi $s7, $s7, -1
+        bnez $s7, txn
+        halt
+
+# ---- validate($a1 = type): skewed type check, returns weight ----
+validate:
+        addi $sp, $sp, -12     # compiled prologue: spill/reload traffic
+        sw $ra, 0($sp)
+        sw $a1, 4($sp)
+        li $v0, 0
+        slti $t9, $a1, 4
+        beqz $t9, val_rare
+        # common types 0..3, heavily skewed toward 0 (vortex regularity)
+        beqz $a1, val_t0
+        li $t9, 1
+        beq $a1, $t9, val_t1
+        li $t9, 2
+        beq $a1, $t9, val_t2
+        li $v0, 7              # type 3
+        j val_ret
+val_t0: li $v0, 1
+        j val_ret
+val_t1: li $v0, 3
+        j val_ret
+val_t2: li $v0, 5
+        j val_ret
+val_rare:
+        li $t9, 9
+        slt $t8, $a1, $t9
+        beqz $t8, val_bad
+        li $v0, 11
+        j val_ret
+val_bad:
+        li $v0, 0
+val_ret:
+        lw $a1, 4($sp)         # compiled epilogue
+        lw $ra, 0($sp)
+        addi $sp, $sp, 12
+        jr $ra
+
+# ---- init: records with id == slot index; keys from a skewed LCG ----
+init:
+        la $t0, records
+        li $t1, 0
+rfill:
+        sw $t1, 0($t0)         # id = slot
+        # type: heavily skewed -- 15/16 are type 0, the rest 1..4
+        andi $t2, $t1, 15
+        slti $t3, $t2, 15
+        beqz $t3, rtype_rare
+        li $t2, 0
+        j rtype_store
+rtype_rare:
+        andi $t2, $t1, 3
+        addi $t2, $t2, 1       # 1..4
+rtype_store:
+        sw $t2, 4($t0)
+        sll $t4, $t1, 3
+        sw $t4, 8($t0)         # value
+        sw $zero, 12($t0)      # checksum
+        addi $t0, $t0, {_RECORD_BYTES}
+        addi $t1, $t1, 1
+        slti $t5, $t1, {_RECORDS}
+        bnez $t5, rfill
+
+        la $t0, keys
+        li $t1, {_KEYSET}
+        li $t2, {seed}
+kfill:
+        li $t3, 1103515245
+        mult $t2, $t3
+        mflo $t2
+        addi $t2, $t2, 12345
+        srl $t4, $t2, 16
+        andi $t4, $t4, {_RECORDS - 1}
+        sw $t4, 0($t0)
+        addi $t0, $t0, 4
+        addi $t1, $t1, -1
+        bnez $t1, kfill
+        jr $ra
+"""
+
+
+register(WorkloadSpec(
+    name="vortex",
+    description="Object-database transactions: hashed lookup, type "
+                "validation call, field update",
+    source_fn=source,
+    skip_instructions=2_500,
+    paper=PaperReference(
+        inst_count_millions=507.6, branch_pred_rate=97.8,
+        return_pred_rate=99.9,
+        ir_result_rate=20.9, ir_addr_rate=16.2,
+        vp_magic_result_rate=36.7, vp_magic_addr_rate=26.9,
+        vp_lvp_result_rate=33.8, redundancy_repeated=85.0),
+))

@@ -1,0 +1,105 @@
+"""Qualitative paper-shape assertions on small windows.
+
+These encode the paper's *findings* (not its absolute numbers) as tests,
+on a reduced window so the suite stays tractable.  Thresholds are
+deliberately loose: the goal is to catch regressions that flip a
+conclusion, not to pin noisy values.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentRunner
+from repro.experiments.configs import (
+    BASE,
+    IR_EARLY,
+    IR_LATE,
+    vp_lvp,
+    vp_magic,
+)
+from repro.metrics.stats import harmonic_mean, speedup
+from repro.uarch.config import BranchPolicy, ReexecPolicy
+from repro.workloads import workload_names
+
+WORKLOADS = ["go", "m88ksim", "perl", "vortex", "compress"]
+
+
+@pytest.fixture(scope="module")
+def runner(tmp_path_factory):
+    return ExperimentRunner(max_instructions=4_000, max_cycles=200_000,
+                            cache_dir=tmp_path_factory.mktemp("shapes"),
+                            quiet=True)
+
+
+def _speedups(runner, config):
+    return [speedup(runner.run(name, config), runner.run(name, BASE))
+            for name in WORKLOADS]
+
+
+class TestHeadlineFindings:
+    def test_both_techniques_help_at_the_mean(self, runner):
+        assert harmonic_mean(_speedups(runner, vp_magic())) > 1.05
+        assert harmonic_mean(_speedups(runner, IR_EARLY)) > 1.05
+
+    def test_early_validation_beats_late(self, runner):
+        """Figure 3's finding, at the harmonic mean."""
+        early = harmonic_mean(_speedups(runner, IR_EARLY))
+        late = harmonic_mean(_speedups(runner, IR_LATE))
+        assert early > late
+
+    def test_magic_beats_lvp(self, runner):
+        """Table 3/Figures 6-7: the richer predictor wins overall."""
+        magic = harmonic_mean(_speedups(runner, vp_magic()))
+        lvp = harmonic_mean(_speedups(runner, vp_lvp()))
+        assert magic >= lvp
+
+    def test_lvp_prefers_nsb(self, runner):
+        """Figure 7: with low accuracy, delaying branch resolution wins."""
+        sb = harmonic_mean(_speedups(runner, vp_lvp()))
+        nsb = harmonic_mean(_speedups(
+            runner, vp_lvp(branches=BranchPolicy.NON_SPECULATIVE)))
+        assert nsb >= sb - 0.02
+
+    def test_me_nme_is_a_wash(self, runner):
+        """Table 6's implication: restricting re-execution changes little."""
+        me = harmonic_mean(_speedups(runner, vp_magic(ReexecPolicy.MULTIPLE)))
+        nme = harmonic_mean(_speedups(runner, vp_magic(ReexecPolicy.SINGLE)))
+        assert abs(me - nme) < 0.05
+
+
+class TestMechanismFindings:
+    def test_sb_inflates_squashes_for_lvp(self, runner):
+        """Table 4: spurious squashes, much worse for VP_LVP."""
+        inflations = []
+        for name in WORKLOADS:
+            base = runner.run(name, BASE).branch_squashes or 1
+            lvp = runner.run(name, vp_lvp()).branch_squashes
+            inflations.append(lvp / base)
+        assert max(inflations) > 1.2
+
+    def test_ir_recovers_squashed_work(self, runner):
+        """Table 5: recovery happens on every benchmark with squashes."""
+        for name in WORKLOADS:
+            stats = runner.run(name, IR_EARLY)
+            if stats.squashed_executed > 50:
+                assert stats.squashed_recovered > 0, name
+
+    def test_ir_resolution_latency_below_base(self, runner):
+        """Figure 4: reused branches cut resolution latency."""
+        better = 0
+        for name in WORKLOADS:
+            base = runner.run(name, BASE).mean_branch_resolution_latency
+            reuse = runner.run(name, IR_EARLY).mean_branch_resolution_latency
+            better += reuse <= base
+        assert better >= len(WORKLOADS) - 1
+
+    def test_compress_addr_over_result(self, runner):
+        """Table 3's compress signature."""
+        stats = runner.run("compress", IR_EARLY)
+        assert stats.ir_addr_rate > stats.ir_result_rate
+
+    def test_vp_executes_more_than_ir(self, runner):
+        """Section 3.2: VP re-executes, IR removes executions."""
+        for name in WORKLOADS:
+            vp = runner.run(name, vp_magic())
+            ir = runner.run(name, IR_EARLY)
+            assert vp.execution_attempts > ir.execution_attempts, name

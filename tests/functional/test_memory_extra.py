@@ -1,0 +1,43 @@
+"""Additional memory-model coverage (bulk helpers, page accounting)."""
+
+from repro.functional import Memory
+from repro.functional.memory import PAGE_SIZE
+
+
+class TestBulkHelpers:
+    def test_load_image(self):
+        memory = Memory()
+        memory.load_image({0x100: 0xAB, 0x101: 0xCD})
+        assert memory.read(0x100, 2) == 0xCDAB
+
+    def test_dump(self):
+        memory = Memory()
+        memory.write_word(0x200, 0x04030201)
+        assert memory.dump(0x200, 4) == bytes([1, 2, 3, 4])
+
+    def test_dump_untouched_is_zeros(self):
+        assert Memory().dump(0x9000, 8) == bytes(8)
+
+    def test_touched_pages(self):
+        memory = Memory()
+        memory.write_byte(0, 1)
+        memory.write_byte(PAGE_SIZE * 5, 1)
+        assert set(memory.touched_pages()) == {0, 5}
+
+    def test_read_word_signed(self):
+        memory = Memory()
+        memory.write_word(0, 0xFFFFFFFE)
+        assert memory.read_word_signed(0) == -2
+
+    def test_high_addresses(self):
+        memory = Memory()
+        memory.write_word(0xFFFF_FFF0, 0xDEAD)
+        assert memory.read_word(0xFFFF_FFF0) == 0xDEAD
+
+    def test_copy_preserves_all_pages(self):
+        memory = Memory()
+        for page in range(4):
+            memory.write_byte(page * PAGE_SIZE + 7, page + 1)
+        clone = memory.copy()
+        for page in range(4):
+            assert clone.read_byte(page * PAGE_SIZE + 7) == page + 1

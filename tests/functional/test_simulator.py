@@ -1,0 +1,221 @@
+"""Unit and small integration tests for the functional simulator."""
+
+import pytest
+
+from repro.functional import FunctionalSimulator, Memory, SimulationError
+from repro.isa import REG_HI, REG_LO, TEXT_BASE, assemble, s32, u32
+
+
+def run_program(source, max_instructions=100_000):
+    sim = FunctionalSimulator(assemble(source))
+    sim.run(max_instructions)
+    assert sim.halted, "program did not halt"
+    return sim
+
+
+class TestMemory:
+    def test_unwritten_reads_zero(self):
+        assert Memory().read_word(0x1234) == 0
+
+    def test_word_round_trip(self):
+        mem = Memory()
+        mem.write_word(0x100, 0xDEADBEEF)
+        assert mem.read_word(0x100) == 0xDEADBEEF
+
+    def test_little_endian_byte_order(self):
+        mem = Memory()
+        mem.write_word(0, 0x11223344)
+        assert mem.read_byte(0) == 0x44
+        assert mem.read_byte(3) == 0x11
+
+    def test_signed_byte_read(self):
+        mem = Memory()
+        mem.write_byte(0, 0xFF)
+        assert s32(mem.read(0, 1, signed=True)) == -1
+        assert mem.read(0, 1, signed=False) == 0xFF
+
+    def test_cross_page_word(self):
+        mem = Memory()
+        address = 0x1000 - 2  # straddles a 4KB page boundary
+        mem.write_word(address, 0xCAFEBABE)
+        assert mem.read_word(address) == 0xCAFEBABE
+
+    def test_copy_is_independent(self):
+        mem = Memory()
+        mem.write_word(0, 1)
+        clone = mem.copy()
+        clone.write_word(0, 2)
+        assert mem.read_word(0) == 1
+
+    def test_image_constructor(self):
+        mem = Memory({0: 0x34, 1: 0x12})
+        assert mem.read(0, 2) == 0x1234
+
+
+class TestArithmeticPrograms:
+    def test_simple_sum(self):
+        sim = run_program("""
+        main: li $t0, 10
+              li $t1, 0
+              li $t2, 0
+        loop: addi $t2, $t2, 1
+              add $t1, $t1, $t2
+              bne $t2, $t0, loop
+              halt
+        """)
+        assert sim.state.read_reg(9) == 55
+
+    def test_mult_div_hi_lo(self):
+        sim = run_program("""
+        main: li $t0, 7
+              li $t1, 3
+              mult $t0, $t1
+              mflo $t2
+              div $t0, $t1
+              mflo $t3
+              mfhi $t4
+              halt
+        """)
+        assert sim.state.read_reg(10) == 21
+        assert sim.state.read_reg(11) == 2  # 7 / 3
+        assert sim.state.read_reg(12) == 1  # 7 % 3
+
+    def test_r0_is_hardwired_zero(self):
+        sim = run_program("""
+        main: addi $zero, $zero, 99
+              move $t0, $zero
+              halt
+        """)
+        assert sim.state.read_reg(0) == 0
+        assert sim.state.read_reg(8) == 0
+
+    def test_overflow_wraps(self):
+        sim = run_program("""
+        main: li $t0, 0x7FFFFFFF
+              addi $t0, $t0, 1
+              halt
+        """)
+        assert sim.state.read_reg(8) == 0x80000000
+
+
+class TestMemoryPrograms:
+    def test_store_load_round_trip(self):
+        sim = run_program("""
+        .data
+        buf: .space 64
+        .text
+        main: la $t0, buf
+              li $t1, 0x12345678
+              sw $t1, 0($t0)
+              lw $t2, 0($t0)
+              lb $t3, 3($t0)
+              lbu $t4, 3($t0)
+              halt
+        """)
+        assert sim.state.read_reg(10) == 0x12345678
+        assert sim.state.read_reg(11) == 0x12
+        assert sim.state.read_reg(12) == 0x12
+
+    def test_signed_byte_load(self):
+        sim = run_program("""
+        .data
+        b: .byte 0xFF
+        .text
+        main: la $t0, b
+              lb $t1, 0($t0)
+              lbu $t2, 0($t0)
+              halt
+        """)
+        assert sim.state.read_reg(9) == 0xFFFFFFFF
+        assert sim.state.read_reg(10) == 0xFF
+
+    def test_initialised_data(self):
+        sim = run_program("""
+        .data
+        vals: .word 5, 6, 7
+        .text
+        main: la $t0, vals
+              lw $t1, 4($t0)
+              halt
+        """)
+        assert sim.state.read_reg(9) == 6
+
+
+class TestControlFlow:
+    def test_call_and_return(self):
+        sim = run_program("""
+        main:  li $a0, 4
+               jal double
+               move $s0, $v0
+               halt
+        double: add $v0, $a0, $a0
+               jr $ra
+        """)
+        assert sim.state.read_reg(16) == 8
+
+    def test_indirect_jump_table(self):
+        sim = run_program("""
+        .data
+        table: .word case0, case1
+        .text
+        main:  li $t0, 1
+               sll $t1, $t0, 2
+               la $t2, table
+               add $t1, $t1, $t2
+               lw $t3, 0($t1)
+               jr $t3
+        case0: li $s0, 100
+               halt
+        case1: li $s0, 200
+               halt
+        """)
+        assert sim.state.read_reg(16) == 200
+
+    def test_loop_instruction_count(self):
+        sim = run_program("""
+        main: li $t0, 5
+        loop: addi $t0, $t0, -1
+              bnez $t0, loop
+              halt
+        """)
+        # li + 5*(addi+bnez) + halt
+        assert sim.instructions_retired == 12
+
+
+class TestSimulatorInterface:
+    def test_bad_pc_raises(self):
+        sim = FunctionalSimulator(assemble("main: j main"))
+        sim.program.instructions.clear()
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_step_after_halt_raises(self):
+        sim = run_program("main: halt")
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_run_respects_limit(self):
+        sim = FunctionalSimulator(assemble("main: j main"))
+        assert sim.run(max_instructions=10) == 10
+        assert not sim.halted
+
+    def test_stream_yields_outcomes(self):
+        sim = FunctionalSimulator(assemble("""
+        main: li $t0, 3
+              addi $t0, $t0, 4
+              halt
+        """))
+        outcomes = list(sim.stream())
+        assert [o.inst.opcode.name for o in outcomes] == ["ori", "addi", "halt"]
+        assert outcomes[1].result == 7
+
+    def test_skip_fast_forwards(self):
+        sim = FunctionalSimulator(assemble("""
+        main: li $t0, 100
+        loop: addi $t0, $t0, -1
+              bnez $t0, loop
+              halt
+        """))
+        sim.skip(50)
+        assert sim.instructions_retired == 50
+        assert not sim.halted

@@ -1,0 +1,230 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa import (
+    AssemblyError,
+    DATA_BASE,
+    INSTRUCTION_BYTES,
+    TEXT_BASE,
+    assemble,
+    format_instruction,
+)
+
+
+class TestBasicAssembly:
+    def test_single_instruction(self):
+        program = assemble("add $t0, $t1, $t2")
+        inst = program.fetch(TEXT_BASE)
+        assert inst.opcode.name == "add"
+        assert (inst.rd, inst.rs, inst.rt) == (8, 9, 10)
+
+    def test_sequential_pcs(self):
+        program = assemble("nop\nnop\nnop")
+        pcs = sorted(program.instructions)
+        assert pcs == [TEXT_BASE, TEXT_BASE + 4, TEXT_BASE + 8]
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("""
+            # leading comment
+            add $t0, $t1, $t2   # trailing
+            ; alt comment style
+            nop
+        """)
+        assert program.num_instructions == 2
+
+    def test_labels_resolve_forward_and_backward(self):
+        program = assemble("""
+        top:  addi $t0, $t0, 1
+              bne $t0, $t1, top
+              beq $t0, $t1, done
+              nop
+        done: halt
+        """)
+        branch_back = program.fetch(TEXT_BASE + 4)
+        branch_fwd = program.fetch(TEXT_BASE + 8)
+        assert branch_back.target == TEXT_BASE
+        assert branch_fwd.target == TEXT_BASE + 16
+
+    def test_inline_label(self):
+        program = assemble("start: nop")
+        assert program.symbols["start"] == TEXT_BASE
+
+    def test_main_label_sets_entry_point(self):
+        program = assemble("""
+        helper: jr $ra
+        main:   halt
+        """)
+        assert program.entry_point == TEXT_BASE + 4
+
+    def test_memory_operand(self):
+        program = assemble("lw $t0, -8($sp)")
+        inst = program.fetch(TEXT_BASE)
+        assert (inst.rd, inst.rs, inst.imm) == (8, 29, -8)
+
+    def test_bare_label_memory_operand(self):
+        program = assemble("""
+        .data
+        var: .word 42
+        .text
+        lw $t0, var
+        """)
+        inst = program.fetch(TEXT_BASE)
+        assert inst.rs == 0
+        assert inst.imm == DATA_BASE
+
+    def test_hex_and_char_literals(self):
+        program = assemble("addi $t0, $zero, 0x10\naddi $t1, $zero, 'A'")
+        assert program.fetch(TEXT_BASE).imm == 16
+        assert program.fetch(TEXT_BASE + 4).imm == 65
+
+
+class TestPseudoInstructions:
+    def test_li_and_la(self):
+        program = assemble("""
+        .data
+        buf: .space 16
+        .text
+        li $t0, 1234
+        la $t1, buf
+        """)
+        li = program.fetch(TEXT_BASE)
+        la = program.fetch(TEXT_BASE + 4)
+        assert li.opcode.name == "ori" and li.imm == 1234
+        assert la.imm == DATA_BASE
+
+    def test_move(self):
+        inst = assemble("move $t0, $t1").fetch(TEXT_BASE)
+        assert inst.opcode.name == "addu"
+        assert (inst.rd, inst.rs, inst.rt) == (8, 9, 0)
+
+    def test_beqz_bnez_b(self):
+        program = assemble("""
+        top: beqz $t0, top
+             bnez $t0, top
+             b top
+        """)
+        assert program.fetch(TEXT_BASE).opcode.name == "beq"
+        assert program.fetch(TEXT_BASE + 4).opcode.name == "bne"
+        assert program.fetch(TEXT_BASE + 8).opcode.name == "beq"
+
+    def test_mul_expands_to_two_instructions(self):
+        program = assemble("mul $t0, $t1, $t2\nhalt")
+        assert program.fetch(TEXT_BASE).opcode.name == "mult"
+        assert program.fetch(TEXT_BASE + 4).opcode.name == "mflo"
+        assert program.fetch(TEXT_BASE + 8).opcode.name == "halt"
+
+    def test_rem_uses_mfhi(self):
+        program = assemble("rem $t0, $t1, $t2")
+        assert program.fetch(TEXT_BASE + 4).opcode.name == "mfhi"
+
+    def test_three_operand_div(self):
+        program = assemble("div $t0, $t1, $t2")
+        assert program.fetch(TEXT_BASE).opcode.name == "div"
+        assert program.fetch(TEXT_BASE + 4).opcode.name == "mflo"
+
+    def test_two_operand_div_is_not_expanded(self):
+        program = assemble("div $t1, $t2")
+        assert program.num_instructions == 1
+
+
+class TestDataDirectives:
+    def test_word_layout(self):
+        program = assemble("""
+        .data
+        vals: .word 1, 2, 0xFF
+        """)
+        assert program.data[DATA_BASE] == 1
+        assert program.data[DATA_BASE + 4] == 2
+        assert program.data[DATA_BASE + 8] == 0xFF
+
+    def test_word_with_label_reference(self):
+        program = assemble("""
+        .data
+        a: .word 7
+        p: .word a
+        """)
+        addr = program.symbols["p"]
+        value = sum(program.data.get(addr + i, 0) << (8 * i) for i in range(4))
+        assert value == program.symbols["a"]
+
+    def test_byte_half_space(self):
+        program = assemble("""
+        .data
+        b: .byte 1, 2
+        h: .half 0x1234
+        s: .space 8
+        end: .word 9
+        """)
+        assert program.symbols["h"] == DATA_BASE + 2
+        assert program.symbols["s"] == DATA_BASE + 4
+        assert program.symbols["end"] == DATA_BASE + 12
+
+    def test_align(self):
+        program = assemble("""
+        .data
+        b: .byte 1
+        .align 2
+        w: .word 5
+        """)
+        assert program.symbols["w"] == DATA_BASE + 4
+
+    def test_asciiz(self):
+        program = assemble("""
+        .data
+        msg: .asciiz "hi"
+        """)
+        assert program.data[DATA_BASE] == ord("h")
+        assert program.data[DATA_BASE + 2] == 0
+
+    def test_custom_section_origins(self):
+        program = assemble("""
+        .data 0x20000000
+        v: .word 1
+        .text 0x4000
+        main: halt
+        """)
+        assert program.symbols["v"] == 0x20000000
+        assert program.entry_point == 0x4000
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("frobnicate $t0")
+
+    def test_undefined_symbol(self):
+        with pytest.raises(AssemblyError, match="undefined symbol"):
+            assemble("j nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            assemble("x: nop\nx: nop")
+
+    def test_bad_operand_count(self):
+        with pytest.raises(AssemblyError, match="bad operand count"):
+            assemble("add $t0, $t1")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("add $t0, $t1, $qq")
+
+
+class TestRoundTrip:
+    def test_format_instruction_is_stable(self):
+        source = """
+        .data
+        buf: .word 1
+        .text
+        main: lw $t0, 0($sp)
+              add $t1, $t0, $t0
+              sw $t1, 4($sp)
+              beq $t1, $zero, main
+              jal main
+              jr $ra
+              halt
+        """
+        program = assemble(source)
+        for inst in program.instruction_list():
+            text = format_instruction(inst)
+            assert inst.opcode.name in text

@@ -1,0 +1,36 @@
+"""Property-based assembler robustness tests."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import AssemblyError, assemble, disassemble
+from repro.workloads import random_program
+
+
+class TestRobustness:
+    @settings(max_examples=60, deadline=None)
+    @given(junk=st.text(min_size=1, max_size=120))
+    def test_junk_raises_assembly_error_or_assembles(self, junk):
+        """Arbitrary text either assembles or raises AssemblyError /
+        ValueError-family — never an internal exception type."""
+        try:
+            assemble(junk)
+        except (AssemblyError, ValueError):
+            pass
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_generated_programs_disassemble(self, seed):
+        program = assemble(random_program(seed, size=40))
+        listing = disassemble(program)
+        assert listing.count("\n") >= program.num_instructions
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_assembly_is_deterministic(self, seed):
+        source = random_program(seed, size=30)
+        first = assemble(source)
+        second = assemble(source)
+        assert first.instructions.keys() == second.instructions.keys()
+        for pc in first.instructions:
+            assert str(first.instructions[pc]) == str(second.instructions[pc])
+        assert first.data == second.data

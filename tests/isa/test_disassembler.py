@@ -1,0 +1,60 @@
+"""Tests for the program-listing disassembler."""
+
+from repro.isa import assemble, disassemble, instruction_histogram
+from repro.isa.disassembler import disassemble_instruction
+
+SOURCE = """
+.data
+tbl: .word 1, 2
+msg: .asciiz "hi"
+.text
+main:  li $t0, 5
+loop:  addi $t0, $t0, -1
+       bnez $t0, loop
+       jal fn
+       halt
+fn:    jr $ra
+"""
+
+
+class TestListing:
+    def test_labels_reconstructed(self):
+        text = disassemble(assemble(SOURCE))
+        for label in ("main:", "loop:", "fn:"):
+            assert label in text
+
+    def test_branch_targets_annotated(self):
+        text = disassemble(assemble(SOURCE))
+        assert "<loop>" in text
+        assert "<fn>" in text
+
+    def test_addresses_present(self):
+        text = disassemble(assemble(SOURCE))
+        assert "0x00001000" in text
+
+    def test_data_summary(self):
+        text = disassemble(assemble(SOURCE))
+        assert ".data" in text
+        assert "<tbl>" in text
+
+    def test_data_omittable(self):
+        text = disassemble(assemble(SOURCE), with_data=False)
+        assert ".data" not in text
+
+    def test_single_instruction(self):
+        program = assemble("main: add $t0, $t1, $t2")
+        line = disassemble_instruction(program.instruction_list()[0])
+        assert "add" in line and "0x00001000" in line
+
+
+class TestHistogram:
+    def test_counts(self):
+        histogram = instruction_histogram(assemble(SOURCE))
+        assert histogram["addi"] == 1
+        assert histogram["ori"] == 1  # li expands to ori
+        assert histogram["jr"] == 1
+
+    def test_total_matches_program(self):
+        program = assemble(SOURCE)
+        assert sum(instruction_histogram(program).values()) \
+            == program.num_instructions

@@ -1,0 +1,218 @@
+"""Tests for the single-precision floating-point extension (Table 1 FP)."""
+
+import math
+import struct
+
+import pytest
+
+from repro.functional import FunctionalSimulator
+from repro.isa import assemble, lookup
+from repro.isa.opcodes import (
+    NUM_FPRS,
+    OpClass,
+    REG_F0,
+    REG_FCC,
+    bits_to_float,
+    float_to_bits,
+    parse_register,
+)
+
+
+def run(source):
+    sim = FunctionalSimulator(assemble(source))
+    sim.run(max_instructions=100_000)
+    assert sim.halted
+    return sim
+
+
+def fpr(sim, index):
+    return bits_to_float(sim.state.regs[REG_F0 + index])
+
+
+class TestBitConversions:
+    @pytest.mark.parametrize("value", [0.0, 1.0, -1.5, 0.1, 3.14159e10,
+                                       -2.0**-20])
+    def test_round_trip(self, value):
+        single = struct.unpack("<f", struct.pack("<f", value))[0]
+        assert bits_to_float(float_to_bits(value)) == single
+
+    def test_overflow_to_infinity(self):
+        assert bits_to_float(float_to_bits(1e300)) == float("inf")
+        assert bits_to_float(float_to_bits(-1e300)) == float("-inf")
+
+    def test_register_parsing(self):
+        assert parse_register("$f0") == REG_F0
+        assert parse_register("$f31") == REG_F0 + 31
+        assert parse_register("$fcc") == REG_FCC
+
+
+class TestTable1Latencies:
+    def test_fp_latencies(self):
+        assert (lookup("add.s").latency, lookup("add.s").issue_interval) \
+            == (2, 1)
+        assert (lookup("mul.s").latency, lookup("mul.s").issue_interval) \
+            == (4, 1)
+        assert (lookup("div.s").latency, lookup("div.s").issue_interval) \
+            == (12, 12)
+        assert (lookup("sqrt.s").latency,
+                lookup("sqrt.s").issue_interval) == (24, 24)
+
+    def test_fu_classes(self):
+        assert lookup("add.s").op_class == OpClass.FP_ADD
+        assert lookup("mul.s").op_class == OpClass.FP_MUL_DIV
+        assert lookup("sqrt.s").op_class == OpClass.FP_MUL_DIV
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        sim = run("""
+        main: li.s $f1, 1.5
+              li.s $f2, 2.25
+              add.s $f3, $f1, $f2
+              sub.s $f4, $f1, $f2
+              halt
+        """)
+        assert fpr(sim, 3) == 3.75
+        assert fpr(sim, 4) == -0.75
+
+    def test_mul_div(self):
+        sim = run("""
+        main: li.s $f1, 3.0
+              li.s $f2, 0.5
+              mul.s $f3, $f1, $f2
+              div.s $f4, $f1, $f2
+              halt
+        """)
+        assert fpr(sim, 3) == 1.5
+        assert fpr(sim, 4) == 6.0
+
+    def test_div_by_zero_gives_infinity(self):
+        sim = run("""
+        main: li.s $f1, 2.0
+              li.s $f2, 0.0
+              div.s $f3, $f1, $f2
+              halt
+        """)
+        assert fpr(sim, 3) == float("inf")
+
+    def test_sqrt(self):
+        sim = run("main: li.s $f1, 2.0\n sqrt.s $f2, $f1\n halt")
+        assert abs(fpr(sim, 2) - math.sqrt(2)) < 1e-6
+
+    def test_sqrt_negative_is_nan(self):
+        sim = run("main: li.s $f1, -4.0\n sqrt.s $f2, $f1\n halt")
+        assert math.isnan(fpr(sim, 2))
+
+    def test_abs_neg_mov(self):
+        sim = run("""
+        main: li.s $f1, -2.5
+              abs.s $f2, $f1
+              neg.s $f3, $f2
+              mov.s $f4, $f3
+              halt
+        """)
+        assert fpr(sim, 2) == 2.5
+        assert fpr(sim, 3) == -2.5
+        assert fpr(sim, 4) == -2.5
+
+    def test_single_precision_rounding(self):
+        """Results round through 32-bit singles, not doubles."""
+        sim = run("""
+        main: li.s $f1, 0.1
+              li.s $f2, 0.2
+              add.s $f3, $f1, $f2
+              halt
+        """)
+        expected = struct.unpack("<f", struct.pack(
+            "<f", struct.unpack("<f", struct.pack("<f", 0.1))[0]
+            + struct.unpack("<f", struct.pack("<f", 0.2))[0]))[0]
+        assert fpr(sim, 3) == expected
+
+
+class TestConversionsAndMoves:
+    def test_cvt_round_trip(self):
+        sim = run("""
+        main: li $t0, -7
+              mtc1 $f1, $t0
+              cvt.s.w $f2, $f1
+              cvt.w.s $f3, $f2
+              mfc1 $t1, $f3
+              halt
+        """)
+        assert fpr(sim, 2) == -7.0
+        assert sim.state.regs[9] == 0xFFFFFFF9  # -7 back as an int
+
+    def test_mtc1_mfc1_move_bits(self):
+        sim = run("""
+        main: li $t0, 0x3F800000
+              mtc1 $f1, $t0
+              mfc1 $t1, $f1
+              halt
+        """)
+        assert fpr(sim, 1) == 1.0
+        assert sim.state.regs[9] == 0x3F800000
+
+
+class TestMemoryAndBranches:
+    def test_float_directive_and_loads(self):
+        sim = run("""
+        .data
+        vec: .float 1.0, -2.0, 0.5
+        .text
+        main: la $t0, vec
+              lwc1 $f1, 4($t0)
+              swc1 $f1, 12($t0)
+              lwc1 $f2, 12($t0)
+              halt
+        """)
+        assert fpr(sim, 2) == -2.0
+
+    def test_compare_and_branch(self):
+        sim = run("""
+        main: li.s $f1, 1.0
+              li.s $f2, 2.0
+              c.lt.s $f1, $f2
+              bc1t less
+              li $s0, 0
+              j done
+        less: li $s0, 1
+        done: c.eq.s $f1, $f2
+              bc1f noteq
+              li $s1, 0
+              j out
+        noteq: li $s1, 1
+        out:  halt
+        """)
+        assert sim.state.regs[16] == 1
+        assert sim.state.regs[17] == 1
+
+    def test_fcc_is_architectural(self):
+        sim = run("""
+        main: li.s $f1, 5.0
+              li.s $f2, 5.0
+              c.le.s $f1, $f2
+              halt
+        """)
+        assert sim.state.regs[REG_FCC] == 1
+
+
+class TestFpLoop:
+    def test_dot_product(self):
+        sim = run("""
+        .data
+        a: .float 1.0, 2.0, 3.0, 4.0
+        b: .float 0.5, 0.5, 0.5, 0.5
+        .text
+        main: li $t0, 0
+              li.s $f0, 0.0
+        loop: sll $t1, $t0, 2
+              lwc1 $f1, a($t1)
+              lwc1 $f2, b($t1)
+              mul.s $f3, $f1, $f2
+              add.s $f0, $f0, $f3
+              addi $t0, $t0, 1
+              slti $t2, $t0, 4
+              bnez $t2, loop
+              halt
+        """)
+        assert fpr(sim, 0) == 5.0

@@ -1,0 +1,92 @@
+"""Unit tests for decoded-instruction register semantics."""
+
+import pytest
+
+from repro.isa import REG_HI, REG_LO, REG_RA, assemble, lookup
+from repro.isa.instruction import Instruction
+
+
+def decode(source):
+    program = assemble(source)
+    return program.instruction_list()[0]
+
+
+class TestSourceRegisters:
+    @pytest.mark.parametrize("source,expected", [
+        ("add $t0, $t1, $t2", (9, 10)),
+        ("addi $t0, $t1, 4", (9,)),
+        ("lui $t0, 4", ()),
+        ("lw $t0, 0($t1)", (9,)),
+        ("sw $t0, 0($t1)", (9, 8)),  # base, then data
+        ("beq $t0, $t1, 0x1000", (8, 9)),
+        ("blez $t0, 0x1000", (8,)),
+        ("jr $t1", (9,)),
+        ("mult $t0, $t1", (8, 9)),
+        ("mfhi $t0", (REG_HI,)),
+        ("mflo $t0", (REG_LO,)),
+        ("nop", ()),
+        ("j 0x1000", ()),
+    ])
+    def test_src_regs(self, source, expected):
+        assert decode(source).src_regs == expected
+
+    def test_zero_register_excluded(self):
+        assert decode("add $t0, $zero, $zero").src_regs == ()
+
+
+class TestDestRegisters:
+    @pytest.mark.parametrize("source,expected", [
+        ("add $t0, $t1, $t2", (8,)),
+        ("lw $t0, 0($t1)", (8,)),
+        ("sw $t0, 0($t1)", ()),
+        ("beq $t0, $t1, 0x1000", ()),
+        ("j 0x1000", ()),
+        ("jal 0x1000", (REG_RA,)),
+        ("jalr $t1", (REG_RA,)),
+        ("mult $t0, $t1", (REG_HI, REG_LO)),
+        ("div $t0, $t1", (REG_HI, REG_LO)),
+        ("mfhi $t0", (8,)),
+        ("nop", ()),
+        ("halt", ()),
+    ])
+    def test_dest_regs(self, source, expected):
+        assert decode(source).dest_regs == expected
+
+    def test_write_to_zero_discarded(self):
+        assert decode("add $zero, $t1, $t2").dest_regs == ()
+
+
+class TestHelpers:
+    def test_is_return(self):
+        assert decode("jr $ra").is_return
+        assert not decode("jr $t0").is_return
+        assert not decode("jalr $ra").is_return
+
+    def test_writes_value(self):
+        assert decode("add $t0, $t1, $t2").writes_value
+        assert not decode("sw $t0, 0($t1)").writes_value
+
+    def test_next_pc(self):
+        inst = decode("nop")
+        assert inst.next_pc == inst.pc + 4
+
+    def test_operand_values_alu(self):
+        inst = decode("add $t0, $t1, $t2")
+        regs = {9: 5, 10: 7}
+        a, b = inst.operand_values(lambda r: regs.get(r, 0))
+        assert (a, b) == (5, 7)
+
+    def test_operand_values_store_data(self):
+        inst = decode("sw $t0, 0($t1)")
+        regs = {8: 42, 9: 0x1000}
+        a, b = inst.operand_values(lambda r: regs.get(r, 0))
+        assert (a, b) == (0x1000, 42)
+
+    def test_operand_values_mfhi(self):
+        inst = decode("mfhi $t0")
+        a, b = inst.operand_values(lambda r: 99 if r == REG_HI else 0)
+        assert (a, b) == (99, 0)
+
+    def test_str_contains_pc_and_mnemonic(self):
+        text = str(decode("add $t0, $t1, $t2"))
+        assert "0x1000" in text and "add" in text

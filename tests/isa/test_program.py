@@ -1,0 +1,39 @@
+"""Tests for the Program image container."""
+
+import pytest
+
+from repro.isa import INSTRUCTION_BYTES, TEXT_BASE, assemble
+from repro.isa.program import Program
+
+
+class TestProgram:
+    def test_fetch_valid_and_invalid(self):
+        program = assemble("main: nop\n halt")
+        assert program.fetch(TEXT_BASE).opcode.name == "nop"
+        assert program.fetch(TEXT_BASE + 0x1000) is None
+
+    def test_instruction_list_sorted(self):
+        program = assemble("main: nop\n nop\n halt")
+        pcs = [inst.pc for inst in program.instruction_list()]
+        assert pcs == sorted(pcs)
+
+    def test_symbol_lookup(self):
+        program = assemble("main: nop\nend: halt")
+        assert program.symbol("end") == TEXT_BASE + INSTRUCTION_BYTES
+        with pytest.raises(KeyError):
+            program.symbol("missing")
+
+    def test_end_pc(self):
+        program = assemble("main: nop\n halt")
+        assert program.end_pc() == TEXT_BASE + 2 * INSTRUCTION_BYTES
+
+    def test_end_pc_empty(self):
+        program = Program(entry_point=0x4000)
+        assert program.end_pc() == 0x4000
+
+    def test_num_instructions(self):
+        assert assemble("main: nop\n nop\n halt").num_instructions == 3
+
+    def test_source_retained(self):
+        source = "main: halt"
+        assert assemble(source).source == source

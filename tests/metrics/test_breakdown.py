@@ -1,0 +1,91 @@
+"""Tests for the per-class capture breakdown."""
+
+import dataclasses
+
+from repro.isa import assemble
+from repro.metrics.breakdown import CLASSES, ClassBreakdown, classify
+from repro.uarch.config import base_config, ir_config, vp_config
+from repro.uarch.core import OutOfOrderCore
+
+SOURCE = """
+.data
+tbl: .word 2, 4, 6, 8
+.text
+main:   li $s0, 120
+loop:   li $t0, 8
+        lw $t1, tbl($t0)
+        mul $t2, $t1, $t1
+        sw $t2, tbl+16
+        addi $s0, $s0, -1
+        bnez $s0, loop
+        halt
+"""
+
+
+def run_with_breakdown(config):
+    config = dataclasses.replace(config, verify_commits=True)
+    core = OutOfOrderCore(config, assemble(SOURCE))
+    breakdown = ClassBreakdown(core)
+    core.run(max_cycles=100_000)
+    return breakdown
+
+
+class TestClassify:
+    def test_classes(self):
+        program = assemble("""
+        main: add $t0, $t1, $t2
+              lw $t3, 0($t0)
+              sw $t3, 4($t0)
+              beq $t0, $t3, main
+              j main
+              mult $t0, $t1
+              mflo $t2
+              halt
+        """)
+        insts = program.instruction_list()
+        expected = ["alu", "load", "store", "branch", "jump",
+                    "mult/div", "mult/div", "alu"]
+        assert [classify(i) for i in insts] == expected
+
+
+class TestAccumulation:
+    def test_committed_counts_match_total(self):
+        breakdown = run_with_breakdown(base_config())
+        total = sum(c.committed for c in breakdown.counts.values())
+        assert total == breakdown.core.stats.committed
+
+    def test_mix_percentages_sum_to_100(self):
+        breakdown = run_with_breakdown(base_config())
+        report = breakdown.report()
+        mix_column = [row[2] for row in report.rows]
+        assert abs(sum(mix_column) - 100.0) < 1e-6
+
+    def test_reuse_attributed_to_classes(self):
+        breakdown = run_with_breakdown(ir_config())
+        assert breakdown.counts["alu"].reused > 0
+        assert breakdown.counts["load"].reused > 0
+
+    def test_store_reuse_is_address_only(self):
+        breakdown = run_with_breakdown(ir_config())
+        stores = breakdown.counts["store"]
+        assert stores.reused == 0
+        assert stores.addr_reused > 0
+
+    def test_prediction_attributed(self):
+        breakdown = run_with_breakdown(vp_config())
+        assert breakdown.counts["alu"].predicted_correct > 0
+
+    def test_reused_ops_do_not_execute(self):
+        breakdown = run_with_breakdown(ir_config())
+        alu = breakdown.counts["alu"]
+        assert alu.executions < alu.committed  # most ALU ops reused
+
+    def test_detach(self):
+        core = OutOfOrderCore(base_config(), assemble(SOURCE))
+        breakdown = ClassBreakdown(core)
+        breakdown.detach()
+        assert core.on_commit is None
+
+    def test_report_renders(self):
+        text = run_with_breakdown(ir_config()).report().render()
+        assert "load" in text and "mult/div" in text

@@ -1,0 +1,67 @@
+"""Unit tests for ASCII chart rendering."""
+
+from repro.metrics.charts import bar, bar_chart, report_to_chart
+from repro.metrics.report import Report
+
+
+class TestBar:
+    def test_full_bar(self):
+        assert bar(10, 10, width=8) == "=" * 8
+
+    def test_half_bar(self):
+        assert bar(5, 10, width=8) == "=" * 4 + " " * 4
+
+    def test_zero_value(self):
+        assert bar(0, 10, width=8) == " " * 8
+
+    def test_zero_maximum_is_safe(self):
+        assert bar(5, 0, width=8) == " " * 8
+
+    def test_clamps_overflow(self):
+        assert bar(20, 10, width=8) == "=" * 8
+
+
+class TestBarChart:
+    def make(self, reference=None):
+        return bar_chart(
+            "Demo chart",
+            {"go": {"VP": 1.3, "IR": 1.2}, "perl": {"VP": 0.9, "IR": 1.0}},
+            reference=reference, width=20)
+
+    def test_contains_all_labels(self):
+        text = self.make()
+        for label in ("go", "perl", "VP", "IR"):
+            assert label in text
+
+    def test_values_printed(self):
+        assert "1.30" in self.make()
+
+    def test_group_label_only_on_first_row(self):
+        lines = [line for line in self.make().splitlines() if "|" in line]
+        assert lines[0].startswith("go")
+        assert lines[1].startswith(" ")
+
+    def test_reference_marker_drawn(self):
+        text = self.make(reference=1.0)
+        assert any("|" in line[8:-8] for line in text.splitlines()
+                   if "0.90" in line)
+
+    def test_empty_data(self):
+        assert "(no data)" in bar_chart("x", {})
+
+
+class TestReportToChart:
+    def test_converts_numeric_report(self):
+        report = Report("Speedups", ["bench", "VP", "IR"])
+        report.add_row("go", 1.3, 1.2)
+        report.add_row("perl", 0.9, 1.0)
+        text = report_to_chart(report, reference=1.0)
+        assert "Speedups" in text
+        assert "go" in text and "1.30" in text
+
+    def test_skips_non_numeric_cells(self):
+        report = Report("Mixed", ["bench", "value", "note"])
+        report.add_row("go", 2.0, "hello")
+        text = report_to_chart(report)
+        assert "hello" not in text
+        assert "2.00" in text

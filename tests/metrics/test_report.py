@@ -1,0 +1,42 @@
+"""Unit tests for the plain-text report renderer."""
+
+from repro.metrics.report import Report
+
+
+class TestRendering:
+    def make(self):
+        report = Report("Demo", ["name", "value", "pct"])
+        report.add_row("alpha", 1, 12.345)
+        report.add_row("beta", None, 0.5)
+        return report
+
+    def test_title_and_rule(self):
+        text = self.make().render()
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert lines[1] == "=" * 4
+
+    def test_header_present(self):
+        assert "name" in self.make().render()
+
+    def test_float_formatting(self):
+        assert "12.35" in self.make().render()
+
+    def test_none_renders_dash(self):
+        assert "-" in self.make().render()
+
+    def test_notes_appended(self):
+        report = self.make()
+        report.add_note("hello world")
+        assert report.render().endswith("note: hello world")
+
+    def test_columns_aligned(self):
+        text = self.make().render()
+        lines = text.splitlines()
+        header = lines[2]
+        row = lines[4]
+        assert len(header) == len(row)
+
+    def test_str_equals_render(self):
+        report = self.make()
+        assert str(report) == report.render()

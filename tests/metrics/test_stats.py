@@ -1,0 +1,97 @@
+"""Unit tests for statistics and derived metrics."""
+
+import pytest
+
+from repro.metrics import SimStats, harmonic_mean, speedup
+
+
+class TestDerivedMetrics:
+    def test_ipc(self):
+        stats = SimStats(cycles=100, committed=250)
+        assert stats.ipc == 2.5
+
+    def test_ipc_zero_cycles(self):
+        assert SimStats().ipc == 0.0
+
+    def test_branch_prediction_rate(self):
+        stats = SimStats(cond_branches=100, cond_branch_correct=90)
+        assert stats.branch_prediction_rate == 0.9
+
+    def test_branch_rate_with_no_branches(self):
+        assert SimStats().branch_prediction_rate == 1.0
+
+    def test_resource_contention(self):
+        stats = SimStats(resource_requests=200, resource_denials=20)
+        assert stats.resource_contention == 0.1
+
+    def test_vp_rates(self):
+        stats = SimStats(committed=1000, vp_result_predicted=400,
+                         vp_result_correct=350)
+        assert stats.vp_result_rate == 0.35
+        assert stats.vp_result_misp_rate == 0.05
+
+    def test_ir_rates(self):
+        stats = SimStats(committed=1000, memory_ops=200,
+                         ir_result_reused=100, ir_addr_reused=50)
+        assert stats.ir_result_rate == 0.1
+        assert stats.ir_addr_rate == 0.25
+
+    def test_squash_recovery_fractions(self):
+        stats = SimStats(executed_instructions=1000, squashed_executed=100,
+                         squashed_recovered=30)
+        assert stats.squashed_executed_fraction == 0.1
+        assert stats.recovered_fraction == 0.3
+
+    def test_resolution_latency_mean(self):
+        stats = SimStats(branch_resolution_cycles=30,
+                         branch_resolution_count=10)
+        assert stats.mean_branch_resolution_latency == 3.0
+
+
+class TestHistogram:
+    def test_record_and_fraction(self):
+        stats = SimStats()
+        for times in (1, 1, 1, 2):
+            stats.record_exec_histogram(times)
+        assert stats.exec_count_fraction(1) == 0.75
+        assert stats.exec_count_fraction(2) == 0.25
+        assert stats.exec_count_fraction(3) == 0.0
+
+    def test_empty_histogram(self):
+        assert SimStats().exec_count_fraction(1) == 0.0
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        stats = SimStats(config_name="base", cycles=10, committed=20)
+        stats.record_exec_histogram(1)
+        stats.record_exec_histogram(2)
+        clone = SimStats.from_dict(stats.as_dict())
+        assert clone.config_name == "base"
+        assert clone.cycles == 10
+        assert clone.exec_count_histogram == {1: 1, 2: 1}
+
+    def test_from_dict_ignores_unknown_keys(self):
+        stats = SimStats.from_dict({"cycles": 5, "not_a_field": 1})
+        assert stats.cycles == 5
+
+
+class TestAggregation:
+    def test_speedup(self):
+        base = SimStats(cycles=100, committed=100)
+        fast = SimStats(cycles=50, committed=100)
+        assert speedup(fast, base) == pytest.approx(2.0)
+
+    def test_speedup_zero_base(self):
+        assert speedup(SimStats(cycles=1, committed=1), SimStats()) == 0.0
+
+    def test_harmonic_mean(self):
+        assert harmonic_mean([1.0, 1.0]) == pytest.approx(1.0)
+        assert harmonic_mean([2.0, 4.0]) == pytest.approx(8.0 / 3.0)
+
+    def test_harmonic_mean_dominated_by_slowest(self):
+        assert harmonic_mean([1.0, 100.0]) < 2.0
+
+    def test_harmonic_mean_empty(self):
+        assert harmonic_mean([]) == 0.0
+        assert harmonic_mean([0.0]) == 0.0

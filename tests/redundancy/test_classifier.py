@@ -1,0 +1,123 @@
+"""Unit tests for the Figure 8 redundancy classifier."""
+
+from repro.functional import FunctionalSimulator
+from repro.isa import assemble
+from repro.redundancy import RedundancyClassifier
+
+
+def classify_program(source, max_instructions=50_000, **kw):
+    classifier = RedundancyClassifier(**kw)
+    sim = FunctionalSimulator(assemble(source))
+    for outcome in sim.stream(max_instructions):
+        classifier.observe(outcome)
+    return classifier
+
+
+class TestCategories:
+    def test_constant_loop_is_repeated(self):
+        classifier = classify_program("""
+        main: li $s0, 100
+        loop: li $t0, 42
+              addi $s0, $s0, -1
+              bnez $s0, loop
+              halt
+        """)
+        counts = classifier.counts
+        # `li $t0, 42` produces 42 a hundred times: 1 unique + 99 repeated
+        assert counts.repeated >= 99
+
+    def test_stride_is_derivable(self):
+        classifier = classify_program("""
+        main: li $s0, 100
+        loop: addi $t0, $t0, 4
+              addi $s0, $s0, -1
+              bnez $s0, loop
+              halt
+        """)
+        counts = classifier.counts
+        # t0 walks a +4 stride: after two samples, every value derivable
+        assert counts.derivable >= 97
+
+    def test_down_counter_is_derivable(self):
+        classifier = classify_program("""
+        main: li $s0, 50
+        loop: addi $s0, $s0, -1
+              bnez $s0, loop
+              halt
+        """)
+        assert classifier.counts.derivable >= 47
+
+    def test_fresh_values_are_unique(self):
+        classifier = classify_program("""
+        main: li $s0, 60
+              li $t0, 1
+        loop: sll $t1, $t0, 2
+              add $t0, $t1, $t0
+              addi $t0, $t0, 7
+              xor $t2, $t0, $s0
+              addi $s0, $s0, -1
+              bnez $s0, loop
+              halt
+        """)
+        counts = classifier.counts
+        # t0 follows x -> 5x + 7: ever-fresh values dominate
+        assert counts.unique > 0.3 * counts.producing
+
+    def test_non_producing_instructions_excluded(self):
+        classifier = classify_program("""
+        .data
+        buf: .space 8
+        .text
+        main: li $s0, 20
+        loop: sw $s0, buf
+              beqz $zero, next
+        next: addi $s0, $s0, -1
+              bnez $s0, loop
+              halt
+        """)
+        assert classifier.counts.non_producing > 0
+
+    def test_buffer_cap_produces_unaccounted(self):
+        classifier = classify_program("""
+        main: li $s0, 200
+        loop: xor $t0, $t0, $s0
+              sll $t0, $t0, 1
+              or  $t0, $t0, $s0
+              addi $s0, $s0, -1
+              bnez $s0, loop
+              halt
+        """, max_instructions=50_000, max_instances=4)
+        assert classifier.counts.unaccounted > 0
+
+    def test_static_instruction_count(self):
+        classifier = classify_program("""
+        main: li $t0, 1
+              li $t1, 2
+              halt
+        """)
+        assert classifier.static_instructions == 2
+
+
+class TestDerivedQuantities:
+    def test_percentages_sum_to_100(self):
+        classifier = classify_program("""
+        main: li $s0, 100
+        loop: li $t0, 7
+              addi $t1, $t1, 3
+              add $t2, $t1, $s0
+              addi $s0, $s0, -1
+              bnez $s0, loop
+              halt
+        """)
+        pct = classifier.counts.as_percentages()
+        assert abs(sum(pct.values()) - 100.0) < 1e-6
+
+    def test_redundant_is_repeated_plus_derivable(self):
+        classifier = classify_program("main: li $t0, 1\n halt")
+        counts = classifier.counts
+        assert counts.redundant == counts.repeated + counts.derivable
+
+    def test_empty_stream(self):
+        classifier = RedundancyClassifier()
+        assert classifier.counts.producing == 0
+        assert classifier.counts.fraction(0) == 0.0

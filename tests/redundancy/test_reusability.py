@@ -1,0 +1,135 @@
+"""Unit tests for the Figure 9/10 reusability analyzer."""
+
+from repro.functional import FunctionalSimulator
+from repro.isa import assemble
+from repro.redundancy import ReusabilityAnalyzer
+
+
+def analyze(source, max_instructions=50_000, **kw):
+    analyzer = ReusabilityAnalyzer(**kw)
+    sim = FunctionalSimulator(assemble(source))
+    for outcome in sim.stream(max_instructions):
+        analyzer.observe(outcome)
+    return analyzer
+
+
+CONSTANT_CHAIN = """
+main: li $s0, 200
+loop: li $t0, 5
+      add $t1, $t0, $t0
+      add $t2, $t1, $t1
+      addi $s0, $s0, -1
+      bnez $s0, loop
+      halt
+"""
+
+
+class TestReusableChains:
+    def test_constant_chain_is_reusable(self):
+        analyzer = analyze(CONSTANT_CHAIN)
+        counts = analyzer.counts
+        assert counts.reusable > 0.8 * counts.repeated
+
+    def test_chain_counts_as_producers_reused(self):
+        analyzer = analyze(CONSTANT_CHAIN)
+        pct = analyzer.counts.readiness_percentages()
+        assert pct["producers_reused"] > 50.0
+
+    def test_repeated_result_with_fresh_inputs_not_reusable(self):
+        """The paper's 'different inputs' case: a logical op repeats its
+        result (1 xor 3 == 3 xor 1) with an operand pair never seen
+        together, so the operand-based test cannot validate it."""
+        analyzer = analyze("""
+        main: li $s0, 10
+        loop: andi $t9, $s0, 1
+              beqz $t9, even
+              li $t0, 1
+              li $t1, 3
+              j pad
+        even: li $t0, 3
+              li $t1, 1
+        pad:  li $t8, 30            # >50 dynamic insts of padding, so the
+        padl: addi $t8, $t8, -1     # operand producers count as 'far'
+              bnez $t8, padl
+              xor $t2, $t0, $t1     # 1^3 == 3^1: repeated, new operands
+              addi $s0, $s0, -1
+              bnez $s0, loop
+              halt
+        """)
+        assert analyzer.counts.different_inputs > 0
+
+    def test_store_invalidates_load_reuse(self):
+        analyzer = analyze("""
+        .data
+        cell: .word 0
+        .text
+        main: li $s0, 100
+        loop: sw $s0, cell
+              lw $t0, cell
+              andi $t1, $s0, 3
+              sw $t1, cell
+              lw $t2, cell
+              addi $s0, $s0, -1
+              bnez $s0, loop
+              halt
+        """)
+        assert analyzer.counts.memory_invalidated > 0
+
+    def test_stable_memory_loads_are_reusable(self):
+        analyzer = analyze("""
+        .data
+        tbl: .word 9, 8, 7, 6
+        .text
+        main: li $s0, 200
+        loop: lw $t0, tbl
+              lw $t1, tbl+4
+              add $t2, $t0, $t1
+              addi $s0, $s0, -1
+              bnez $s0, loop
+              halt
+        """)
+        counts = analyzer.counts
+        assert counts.reusable > 0.5 * counts.repeated
+
+
+class TestReadinessHorizon:
+    def test_distance_threshold_matters(self):
+        """A repeated value whose producer is an unreused neighbour counts
+        as not-ready under a wide horizon, ready under a narrow one."""
+        source = """
+        main: li $s0, 300
+        loop: andi $t0, $s0, 1
+              sll $t1, $t0, 2
+              addi $s0, $s0, -1
+              bnez $s0, loop
+              halt
+        """
+        wide = analyze(source, producer_distance=50)
+        narrow = analyze(source, producer_distance=2)
+        assert narrow.counts.producers_near \
+            <= wide.counts.producers_near
+
+    def test_architectural_inputs_are_ready(self):
+        """Instructions whose sources were never written in-window."""
+        analyzer = analyze("""
+        main: li $s0, 100
+        loop: add $t0, $s1, $s2
+              addi $s0, $s0, -1
+              bnez $s0, loop
+              halt
+        """)
+        pct = analyzer.counts.readiness_percentages()
+        assert pct["producers_near"] < 50.0
+
+
+class TestAggregates:
+    def test_figure10_fraction_bounded(self):
+        analyzer = analyze(CONSTANT_CHAIN)
+        fraction = analyzer.counts.reusable_fraction_of_redundant
+        assert 0.0 <= fraction <= 1.0
+
+    def test_empty_counts(self):
+        analyzer = ReusabilityAnalyzer()
+        assert analyzer.counts.reusable_fraction_of_redundant == 0.0
+        pct = analyzer.counts.readiness_percentages()
+        assert pct["producers_reused"] == 0.0

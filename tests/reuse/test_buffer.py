@@ -1,0 +1,109 @@
+"""Unit tests for the Reuse Buffer structure."""
+
+from repro.reuse.buffer import RBEntry, ReuseBuffer
+from repro.uarch.config import IRConfig
+
+
+def make_buffer(entries=64, assoc=4):
+    return ReuseBuffer(IRConfig(enabled=True, entries=entries,
+                                associativity=assoc))
+
+
+def entry(pc=0x1000, operands=((8, 1),), result=42, **kw):
+    return RBEntry(pc=pc, operands=tuple(operands), result=result, **kw)
+
+
+class TestInsertLookup:
+    def test_insert_then_find(self):
+        buffer = make_buffer()
+        buffer.insert(entry())
+        instances = buffer.instances(0x1000)
+        assert len(instances) == 1
+        assert instances[0].result == 42
+
+    def test_multiple_instances_same_pc(self):
+        buffer = make_buffer()
+        buffer.insert(entry(operands=((8, 1),), result=10))
+        buffer.insert(entry(operands=((8, 2),), result=20))
+        assert len(buffer.instances(0x1000)) == 2
+
+    def test_same_operands_refresh_instead_of_duplicate(self):
+        buffer = make_buffer()
+        buffer.insert(entry(result=10))
+        buffer.insert(entry(result=11))
+        instances = buffer.instances(0x1000)
+        assert len(instances) == 1
+        assert instances[0].result == 11
+
+    def test_lru_eviction_at_assoc(self):
+        buffer = make_buffer(assoc=2)
+        buffer.insert(entry(operands=((8, 1),)))
+        buffer.insert(entry(operands=((8, 2),)))
+        buffer.insert(entry(operands=((8, 3),)))
+        signatures = {e.operands for e in buffer.instances(0x1000)}
+        assert ((8, 1),) not in signatures
+
+    def test_touch_protects_from_eviction(self):
+        buffer = make_buffer(assoc=2)
+        first = buffer.insert(entry(operands=((8, 1),)))
+        buffer.insert(entry(operands=((8, 2),)))
+        buffer.touch(first)
+        buffer.insert(entry(operands=((8, 3),)))
+        signatures = {e.operands for e in buffer.instances(0x1000)}
+        assert ((8, 1),) in signatures
+        assert ((8, 2),) not in signatures
+
+    def test_different_pcs_do_not_mix(self):
+        buffer = make_buffer(entries=1024)
+        buffer.insert(entry(pc=0x1000, result=1))
+        buffer.insert(entry(pc=0x2000, result=2))
+        assert buffer.instances(0x1000)[0].result == 1
+        assert buffer.instances(0x2000)[0].result == 2
+
+    def test_paper_geometry(self):
+        buffer = ReuseBuffer(IRConfig(enabled=True))
+        assert buffer.num_sets * buffer.assoc == 4 * 1024
+        assert buffer.assoc == 4
+
+
+class TestStoreInvalidation:
+    def _load_entry(self, address=0x8000, nbytes=4, **kw):
+        return entry(operands=((8, address),), result=7, is_mem=True,
+                     is_load=True, address=address, mem_bytes=nbytes, **kw)
+
+    def test_exact_overlap_invalidates(self):
+        buffer = make_buffer()
+        stored = buffer.insert(self._load_entry())
+        assert buffer.invalidate_stores(0x8000, 4) == 1
+        assert stored.mem_valid is False
+
+    def test_partial_overlap_invalidates(self):
+        buffer = make_buffer()
+        stored = buffer.insert(self._load_entry(address=0x8000, nbytes=4))
+        buffer.invalidate_stores(0x8003, 1)
+        assert stored.mem_valid is False
+
+    def test_adjacent_store_does_not_invalidate(self):
+        buffer = make_buffer()
+        stored = buffer.insert(self._load_entry(address=0x8000, nbytes=4))
+        buffer.invalidate_stores(0x8004, 4)
+        assert stored.mem_valid is True
+
+    def test_invalidation_is_idempotent(self):
+        buffer = make_buffer()
+        buffer.insert(self._load_entry())
+        assert buffer.invalidate_stores(0x8000, 4) == 1
+        assert buffer.invalidate_stores(0x8000, 4) == 0
+
+    def test_address_only_entries_not_indexed(self):
+        buffer = make_buffer()
+        stored = buffer.insert(self._load_entry(result_valid=False))
+        assert buffer.invalidate_stores(0x8000, 4) == 0
+        # address reuse is still possible; only the result was never valid
+        assert stored.result_valid is False
+
+    def test_evicted_entries_dropped_from_index(self):
+        buffer = make_buffer(assoc=1)
+        buffer.insert(self._load_entry(address=0x8000))
+        buffer.insert(entry(operands=((9, 9),), result=1))  # evicts load
+        assert buffer.invalidate_stores(0x8000, 4) == 0

@@ -1,0 +1,74 @@
+"""Tests for the repro-sim command-line tool."""
+
+import pytest
+
+from repro.cli_sim import CONFIG_FACTORIES, build_parser, main
+
+PROGRAM = """
+main:   li $s0, 60
+loop:   li $t0, 5
+        add $t1, $t0, $t0
+        addi $s0, $s0, -1
+        bnez $s0, loop
+        halt
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text(PROGRAM)
+    return path
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["prog.s"])
+        assert args.config == ["base"]
+        assert args.instructions == 50_000
+
+    def test_all_config_names_resolve(self):
+        for name, factory in CONFIG_FACTORIES.items():
+            config = factory()
+            assert config.name  # constructible
+
+    def test_multiple_configs(self):
+        args = build_parser().parse_args(
+            ["prog.s", "--config", "base", "ir", "hybrid"])
+        assert args.config == ["base", "ir", "hybrid"]
+
+
+class TestMain:
+    def test_runs_source_file(self, source_file, capsys):
+        assert main([str(source_file), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "base" in out and "IPC" in out
+
+    def test_compares_configs(self, source_file, capsys):
+        assert main([str(source_file), "--config", "base", "ir", "vp",
+                     "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "reuse-n+d" in out
+        assert "vp-magic" in out
+
+    def test_breakdown_flag(self, source_file, capsys):
+        assert main([str(source_file), "--config", "ir",
+                     "--breakdown"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-class breakdown" in out
+
+    def test_trace_flag(self, source_file, capsys):
+        assert main([str(source_file), "--config", "base",
+                     "--trace", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Pipeline trace" in out
+
+    def test_workload_mode(self, capsys):
+        assert main(["--workload", "m88ksim", "--instructions", "2000",
+                     "--config", "ir"]) == 0
+        out = capsys.readouterr().out
+        assert "m88ksim" in out
+
+    def test_missing_input_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,154 @@
+"""Unit tests for gshare, RAS and indirect prediction."""
+
+from repro.uarch.branch_predictor import (
+    BranchPredictorUnit,
+    Gshare,
+    IndirectPredictor,
+    ReturnAddressStack,
+)
+from repro.uarch.config import BranchPredictorConfig
+
+
+def make_gshare(history_bits=10, entries=16 * 1024):
+    return Gshare(BranchPredictorConfig(history_bits=history_bits,
+                                        counter_entries=entries))
+
+
+class TestGshare:
+    def test_initial_prediction_weakly_taken(self):
+        assert make_gshare().predict(0x1000) is True
+
+    def test_learns_not_taken(self):
+        predictor = make_gshare()
+        pc = 0x1000
+        for _ in range(4):
+            history = predictor.history
+            predictor.predict(pc)
+            predictor.update(pc, False, history)
+            predictor.repair(history, False)
+        history = predictor.history
+        assert predictor.predict(pc) is False
+        predictor.repair(history, False)
+
+    def test_learns_alternating_with_history(self):
+        """Gshare distinguishes outcomes via global history correlation."""
+        predictor = make_gshare(history_bits=4, entries=1024)
+        pattern = [True, False] * 64
+        correct = 0
+        for taken in pattern:
+            history = predictor.history
+            prediction = predictor.predict(0x2000)
+            predictor.update(0x2000, taken, history)
+            predictor.repair(history, taken)
+            correct += prediction == taken
+        # After warm-up the alternating pattern is fully predictable.
+        assert correct > 100
+
+    def test_speculative_history_update(self):
+        predictor = make_gshare()
+        before = predictor.history
+        predictor.predict(0x1000)
+        assert predictor.history != before or predictor.history == (
+            (before << 1) | 1) & predictor.history_mask
+
+    def test_repair_rewinds_history(self):
+        predictor = make_gshare()
+        before = predictor.history
+        predictor.predict(0x1000)
+        predictor.predict(0x2000)
+        predictor.repair(before, actual_taken=False)
+        assert predictor.history == ((before << 1) | 0) & predictor.history_mask
+
+    def test_counter_saturation(self):
+        predictor = make_gshare()
+        slot = predictor.index(0x1000, 0)
+        for _ in range(10):
+            predictor.update(0x1000, True, 0)
+        assert predictor.counters[slot] == 3
+        for _ in range(10):
+            predictor.update(0x1000, False, 0)
+        assert predictor.counters[slot] == 0
+
+    def test_table_1_default_sizes(self):
+        predictor = make_gshare()
+        assert predictor.table_size == 16 * 1024
+        assert predictor.history_mask == (1 << 10) - 1
+
+
+class TestReturnAddressStack:
+    def test_lifo_order(self):
+        ras = ReturnAddressStack(8)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+
+    def test_empty_pop_returns_none(self):
+        assert ReturnAddressStack(8).pop() is None
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+    def test_snapshot_restore(self):
+        ras = ReturnAddressStack(8)
+        ras.push(1)
+        snap = ras.snapshot()
+        ras.push(2)
+        ras.pop()
+        ras.pop()
+        ras.restore(snap)
+        assert ras.pop() == 1
+
+
+class TestIndirectPredictor:
+    def test_last_target(self):
+        predictor = IndirectPredictor(64)
+        assert predictor.predict(0x1000) is None
+        predictor.update(0x1000, 0x4000)
+        assert predictor.predict(0x1000) == 0x4000
+
+    def test_distinct_pcs(self):
+        predictor = IndirectPredictor(64)
+        predictor.update(0x1000, 0x4000)
+        predictor.update(0x1004, 0x5000)
+        assert predictor.predict(0x1000) == 0x4000
+        assert predictor.predict(0x1004) == 0x5000
+
+
+class TestBranchPredictorUnit:
+    def test_call_pushes_return_address(self):
+        unit = BranchPredictorUnit(BranchPredictorConfig())
+        unit.predict_call(0x1000, 0x1004, 0x8000)
+        prediction = unit.predict_return(0x9000)
+        assert prediction.target == 0x1004
+
+    def test_return_prediction_nests(self):
+        unit = BranchPredictorUnit(BranchPredictorConfig())
+        unit.predict_call(0x1000, 0x1004, 0x8000)
+        unit.predict_call(0x8000, 0x8004, 0x9000)
+        assert unit.predict_return(0x9100).target == 0x8004
+        assert unit.predict_return(0x8100).target == 0x1004
+
+    def test_repair_restores_ras(self):
+        unit = BranchPredictorUnit(BranchPredictorConfig())
+        unit.predict_call(0x1000, 0x1004, 0x8000)
+        branch_prediction = unit.predict_branch(0x8000, 0x8100)
+        unit.predict_call(0x8004, 0x8008, 0x9000)  # wrong path call
+        unit.repair(branch_prediction, actual_taken=True, is_conditional=True)
+        assert unit.predict_return(0x9100).target == 0x1004
+
+    def test_not_taken_branch_has_no_target(self):
+        unit = BranchPredictorUnit(BranchPredictorConfig())
+        pc = 0x3000
+        history = unit.gshare.history
+        for _ in range(4):
+            unit.gshare.update(pc, False, history)
+        prediction = unit.predict_branch(pc, 0x4000)
+        if not prediction.taken:
+            assert prediction.target is None

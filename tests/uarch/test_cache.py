@@ -1,0 +1,97 @@
+"""Unit tests for the set-associative cache model and port arbitration."""
+
+from repro.uarch.cache import PortTracker, SetAssocCache
+from repro.uarch.config import CacheConfig
+
+
+def small_cache(size=1024, assoc=2, line=32, miss=6):
+    return SetAssocCache(CacheConfig(size_bytes=size, associativity=assoc,
+                                     line_bytes=line, miss_latency=miss))
+
+
+class TestSetAssocCache:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.access(0x1000) is False
+        assert cache.access(0x1000) is True
+
+    def test_same_line_hits(self):
+        cache = small_cache(line=32)
+        cache.access(0x1000)
+        assert cache.access(0x101F) is True  # same 32-byte line
+        assert cache.access(0x1020) is False  # next line
+
+    def test_lru_eviction_within_set(self):
+        cache = small_cache(size=128, assoc=2, line=32)  # 2 sets
+        set_stride = 2 * 32  # addresses mapping to the same set
+        a, b, c = 0, set_stride, 2 * set_stride
+        cache.access(a)
+        cache.access(b)
+        cache.access(c)  # evicts a (LRU)
+        assert cache.access(b) is True
+        assert cache.access(a) is False
+
+    def test_lru_updated_on_hit(self):
+        cache = small_cache(size=128, assoc=2, line=32)
+        set_stride = 64
+        a, b, c = 0, set_stride, 2 * set_stride
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a becomes MRU
+        cache.access(c)  # evicts b
+        assert cache.access(a) is True
+        assert cache.access(b) is False
+
+    def test_access_latency(self):
+        cache = small_cache(miss=6)
+        assert cache.access_latency(0x2000) == 6
+        assert cache.access_latency(0x2000) == 0
+
+    def test_miss_rate_accounting(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.access(0)
+        cache.access(0)
+        assert cache.accesses == 3
+        assert cache.misses == 1
+        assert abs(cache.miss_rate() - 1 / 3) < 1e-9
+
+    def test_paper_geometry(self):
+        config = CacheConfig()
+        assert config.num_sets == 1024  # 64KB / (32B * 2 ways)
+
+    def test_lookup_does_not_disturb(self):
+        cache = small_cache()
+        assert cache.lookup(0x3000) is False
+        assert cache.misses == 0
+        cache.access(0x3000)
+        assert cache.lookup(0x3000) is True
+        assert cache.hits == 0
+
+
+class TestPortTracker:
+    def test_grants_up_to_port_count(self):
+        ports = PortTracker(2)
+        assert ports.try_acquire(5)
+        assert ports.try_acquire(5)
+        assert not ports.try_acquire(5)
+
+    def test_resets_next_cycle(self):
+        ports = PortTracker(1)
+        assert ports.try_acquire(5)
+        assert not ports.try_acquire(5)
+        assert ports.try_acquire(6)
+
+    def test_available(self):
+        ports = PortTracker(2)
+        assert ports.available(7) == 2
+        ports.try_acquire(7)
+        assert ports.available(7) == 1
+        assert ports.available(8) == 2
+
+    def test_denial_accounting(self):
+        ports = PortTracker(1)
+        ports.try_acquire(1)
+        ports.try_acquire(1)
+        assert ports.grants == 1
+        assert ports.denials == 1

@@ -1,0 +1,23 @@
+"""Integration: the experiment CLI's --charts flag end to end."""
+
+import pytest
+
+from repro.experiments import ExperimentRunner
+from repro.experiments.cli import main
+
+
+class TestChartsFlag:
+    def test_figure8_with_charts(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setattr(
+            "repro.experiments.cli.default_runner",
+            lambda **kw: ExperimentRunner(max_instructions=1_000,
+                                          cache_dir=tmp_path, quiet=True))
+        assert main(["figure8", "--charts"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert "|" in out  # bars rendered
+
+    def test_parser_rejects_unknown_experiment(self):
+        from repro.experiments.cli import build_parser
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["not-an-experiment"])

@@ -1,0 +1,214 @@
+"""Differential and property-based tests: timing core vs functional sim.
+
+The invariant: VP and IR are pure performance techniques — for ANY program
+and ANY configuration, the committed architectural state must equal what
+the in-order functional simulator produces.  ``verify_commits=True``
+additionally checks every committed instruction's destination writes
+in lockstep, so a pass here covers the full commit stream, not only the
+final state.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.functional import FunctionalSimulator
+from repro.isa import NUM_REGS, assemble
+from repro.uarch.config import (
+    BranchPolicy,
+    IRValidation,
+    PredictorKind,
+    ReexecPolicy,
+    base_config,
+    hybrid_config,
+    ir_config,
+    vp_config,
+)
+from repro.uarch.core import OutOfOrderCore
+from repro.workloads.random_program import random_program
+
+ALL_CONFIGS = (
+    [base_config(), ir_config(), ir_config(validation=IRValidation.LATE),
+     hybrid_config(), hybrid_config(verify_latency=1),
+     hybrid_config(branches=BranchPolicy.NON_SPECULATIVE)]
+    + [vp_config(PredictorKind.STRIDE),
+       vp_config(PredictorKind.STRIDE, verify_latency=1),
+       vp_config(PredictorKind.STRIDE,
+                 branches=BranchPolicy.NON_SPECULATIVE)]
+    + [vp_config(kind, reexec, branches, latency)
+       for kind in (PredictorKind.MAGIC, PredictorKind.LAST_VALUE)
+       for reexec in (ReexecPolicy.MULTIPLE, ReexecPolicy.SINGLE)
+       for branches in (BranchPolicy.SPECULATIVE,
+                        BranchPolicy.NON_SPECULATIVE)
+       for latency in (0, 1)]
+)
+
+
+def functional_result(program):
+    sim = FunctionalSimulator(program)
+    sim.run(max_instructions=2_000_000)
+    assert sim.halted
+    return sim
+
+
+def check_program(source, configs=ALL_CONFIGS, max_cycles=2_000_000):
+    program = assemble(source)
+    reference = functional_result(program)
+    for config in configs:
+        config = dataclasses.replace(config, verify_commits=True)
+        core = OutOfOrderCore(config, program)
+        stats = core.run(max_cycles=max_cycles)
+        assert stats.halted, f"{config.name} did not halt"
+        assert stats.committed == reference.instructions_retired, (
+            f"{config.name} committed {stats.committed}, functional ran "
+            f"{reference.instructions_retired}")
+        for reg in range(NUM_REGS):
+            assert core.spec.regs[reg] == reference.state.regs[reg], (
+                f"{config.name}: register {reg} diverged")
+
+
+class TestDifferentialFixed:
+    """Hand-picked programs that stress specific mechanisms."""
+
+    def test_redundant_inner_loop(self):
+        check_program("""
+        .data
+        tbl: .word 3, 7, 1, 9
+        .text
+        main:   li $s0, 0
+                li $s1, 30
+        outer:  li $t0, 0
+        inner:  sll $t1, $t0, 2
+                lw $t2, tbl($t1)
+                mul $t3, $t2, $t2
+                add $s3, $s3, $t3
+                addi $t0, $t0, 1
+                slti $t4, $t0, 4
+                bnez $t4, inner
+                addi $s0, $s0, 1
+                bne $s0, $s1, outer
+                halt
+        """)
+
+    def test_unpredictable_branches_with_stores(self):
+        """Wrong-path stores must be rolled back in every configuration."""
+        check_program("""
+        .data
+        flags: .word 1, 0, 0, 1, 1, 0, 1, 0, 0, 0, 1, 1, 1, 0, 1, 0
+        out:   .space 64
+        .text
+        main:  li $s0, 0
+               li $s1, 16
+        loop:  sll $t0, $s0, 2
+               lw $t1, flags($t0)
+               beqz $t1, skip
+               sw $s0, out($t0)
+               addi $s2, $s2, 1
+        skip:  addi $s0, $s0, 1
+               bne $s0, $s1, loop
+               halt
+        """)
+
+    def test_store_load_aliasing_chain(self):
+        check_program("""
+        .data
+        buf: .space 32
+        .text
+        main:  la $t0, buf
+               li $s0, 0
+               li $s1, 40
+        loop:  sw $s0, 0($t0)
+               lw $t1, 0($t0)
+               addi $t1, $t1, 3
+               sw $t1, 4($t0)
+               lw $t2, 4($t0)
+               add $s2, $s2, $t2
+               addi $s0, $s0, 1
+               bne $s0, $s1, loop
+               halt
+        """)
+
+    def test_recursive_calls(self):
+        check_program("""
+        main:  li $a0, 8
+               jal fib
+               move $s0, $v0
+               halt
+        fib:   slti $t0, $a0, 2
+               beqz $t0, rec
+               move $v0, $a0
+               jr $ra
+        rec:   addi $sp, $sp, -12
+               sw $ra, 0($sp)
+               sw $a0, 4($sp)
+               addi $a0, $a0, -1
+               jal fib
+               sw $v0, 8($sp)
+               lw $a0, 4($sp)
+               addi $a0, $a0, -2
+               jal fib
+               lw $t1, 8($sp)
+               add $v0, $v0, $t1
+               lw $ra, 0($sp)
+               addi $sp, $sp, 12
+               jr $ra
+        """)
+
+    def test_value_divergence_feeding_branch(self):
+        """Changing values feeding a branch: stresses spurious resolution."""
+        check_program("""
+        main:  li $s0, 0
+               li $s1, 64
+        loop:  andi $t0, $s0, 7
+               slti $t1, $t0, 4
+               beqz $t1, other
+               addi $s2, $s2, 1
+               j next
+        other: addi $s3, $s3, 2
+        next:  addi $s0, $s0, 1
+               bne $s0, $s1, loop
+               halt
+        """)
+
+    def test_hi_lo_interleaving(self):
+        check_program("""
+        main:  li $s0, 1
+               li $s1, 12
+        loop:  mult $s0, $s1
+               mfhi $t0
+               mflo $t1
+               add $s2, $s2, $t1
+               div $s1, $s0
+               mflo $t2
+               mfhi $t3
+               add $s3, $s3, $t2
+               addi $s0, $s0, 1
+               slti $t4, $s0, 12
+               bnez $t4, loop
+               halt
+        """)
+
+
+class TestDifferentialRandom:
+    """Seeded sweep: every configuration agrees on random programs."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_program_all_configs(self, seed):
+        check_program(random_program(seed, size=50))
+
+
+class TestDifferentialHypothesis:
+    """Hypothesis-driven exploration of the generator's seed space.
+
+    Runs the cheapest meaningful configuration set to keep runtime sane;
+    the parametrised sweep above covers all 16 VP variants.
+    """
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_base_and_ir_match_functional(self, seed):
+        check_program(
+            random_program(seed, size=40),
+            configs=[base_config(), ir_config(),
+                     vp_config(PredictorKind.MAGIC)])

@@ -1,0 +1,108 @@
+"""Unit tests for InflightOp dataflow helpers (HI/LO awareness etc.)."""
+
+import dataclasses
+
+from repro.isa import REG_HI, REG_LO, assemble
+from repro.uarch.config import base_config
+from repro.uarch.core import OutOfOrderCore
+
+
+def committed(source):
+    config = dataclasses.replace(base_config(), verify_commits=True)
+    core = OutOfOrderCore(config, assemble(source))
+    ops = []
+    core.on_commit = lambda op, cycle: ops.append(op)
+    core.run(max_cycles=50_000)
+    return ops
+
+
+MULT_PROGRAM = """
+main: li $t0, 6
+      li $t1, 7
+      mult $t0, $t1
+      mfhi $t2
+      mflo $t3
+      halt
+"""
+
+
+class TestHiLoDataflow:
+    def test_mult_entry_carries_both_halves(self):
+        ops = committed(MULT_PROGRAM)
+        mult = next(op for op in ops if op.inst.opcode.name == "mult")
+        assert mult.value_for_reg(REG_LO) == 42
+        assert mult.value_for_reg(REG_HI) == 0
+        assert mult.final_value_for_reg(REG_LO) == 42
+        assert mult.final_value_for_reg(REG_HI) == 0
+
+    def test_consumers_wired_to_right_halves(self):
+        ops = committed(MULT_PROGRAM)
+        mfhi = next(op for op in ops if op.inst.opcode.name == "mfhi")
+        mflo = next(op for op in ops if op.inst.opcode.name == "mflo")
+        assert mfhi.outcome.result == 0
+        assert mflo.outcome.result == 42
+        assert REG_HI in mfhi.producers
+        assert REG_LO in mflo.producers
+
+    def test_hi_ready_tracked_separately(self):
+        ops = committed(MULT_PROGRAM)
+        mult = next(op for op in ops if op.inst.opcode.name == "mult")
+        assert mult.reg_ready_cycle(REG_HI) is not None
+        assert mult.reg_ready_cycle(REG_LO) is not None
+
+
+class TestClassification:
+    def test_flags(self):
+        ops = committed("""
+        main: add $t0, $t1, $t2
+              lw $t3, 0($sp)
+              sw $t3, 4($sp)
+              beq $t0, $t3, skip
+        skip: jal fn
+              halt
+        fn:   jr $ra
+        """)
+        by_name = {op.inst.opcode.name: op for op in ops}
+        assert by_name["lw"].is_load and by_name["lw"].is_mem
+        assert by_name["sw"].is_store and by_name["sw"].is_mem
+        assert by_name["beq"].is_cond_branch and by_name["beq"].is_control
+        assert by_name["beq"].needs_checkpoint
+        assert by_name["jal"].is_control
+        assert not by_name["jal"].needs_checkpoint  # direct target
+        assert by_name["jr"].needs_checkpoint  # indirect
+        assert not by_name["add"].is_control
+
+    def test_executes_flag(self):
+        ops = committed("""
+        main: add $t0, $t1, $t2
+              j next
+        next: nop
+              jr $ra
+        """)
+        # jr $ra with empty RAS redirects to 0 -> bad path; just inspect
+        by_name = {}
+        for op in ops:
+            by_name.setdefault(op.inst.opcode.name, op)
+        assert by_name["add"].executes
+        assert not by_name["j"].executes
+        assert not by_name["nop"].executes
+
+
+class TestOracleSnapshot:
+    def test_src_values_captured_at_dispatch(self):
+        ops = committed("""
+        main: li $t0, 11
+              add $t1, $t0, $t0
+              addi $t0, $t0, 1
+              add $t2, $t0, $t0
+              halt
+        """)
+        adds = [op for op in ops if op.inst.opcode.name == "add"]
+        assert adds[0].src_values == {8: 11}
+        assert adds[1].src_values == {8: 12}
+
+    def test_inputs_match_oracle(self):
+        ops = committed("main: li $t0, 5\n add $t1, $t0, $t0\n halt")
+        add = next(op for op in ops if op.inst.opcode.name == "add")
+        assert add.inputs_match_oracle({8: 5})
+        assert not add.inputs_match_oracle({8: 6})

@@ -1,0 +1,101 @@
+"""Timing tests for the FP side of the machine (Table 1 FP units),
+including VP/IR interaction with floating-point code."""
+
+import dataclasses
+
+from repro.isa import assemble
+from repro.isa.opcodes import REG_F0, bits_to_float
+from repro.uarch.config import base_config, ir_config, vp_config
+from repro.uarch.core import OutOfOrderCore
+
+
+def run(source, config=None, max_cycles=300_000):
+    config = dataclasses.replace(config or base_config(),
+                                 verify_commits=True)
+    core = OutOfOrderCore(config, assemble(source))
+    stats = core.run(max_cycles=max_cycles)
+    assert stats.halted
+    return core, stats
+
+
+class TestFpTiming:
+    def test_fp_add_chain_two_cycles_per_link(self):
+        chain = "main: li.s $f1, 1.0\n" + "\n".join(
+            "      add.s $f1, $f1, $f1" for _ in range(30)) + "\n      halt"
+        straight = "main: li.s $f1, 1.0\n" + "\n".join(
+            f"      add.s $f{2 + i % 4}, $f1, $f1" for i in range(30)
+        ) + "\n      halt"
+        _, serial = run(chain)
+        _, parallel = run(straight)
+        # the dependent chain pays ~2 cycles per add; independent adds
+        # run 4 wide on the 4 FP adders
+        assert serial.cycles > parallel.cycles + 30
+
+    def test_sqrt_not_pipelined(self):
+        source = "main: li.s $f1, 2.0\n" + "\n".join(
+            f"      sqrt.s $f{2 + i % 4}, $f1" for i in range(6)
+        ) + "\n      halt"
+        _, stats = run(source)
+        assert stats.cycles > 6 * 24  # 24-cycle issue interval serialises
+
+    def test_fp_div_serialises_on_single_unit(self):
+        source = "main: li.s $f1, 2.0\n li.s $f2, 3.0\n" + "\n".join(
+            f"      div.s $f{3 + i % 4}, $f2, $f1" for i in range(6)
+        ) + "\n      halt"
+        _, stats = run(source)
+        assert stats.cycles > 6 * 12
+
+    def test_architectural_results(self):
+        core, _ = run("""
+        .data
+        v: .float 2.0, 8.0
+        .text
+        main: la $t0, v
+              lwc1 $f1, 0($t0)
+              lwc1 $f2, 4($t0)
+              div.s $f3, $f2, $f1
+              sqrt.s $f4, $f2
+              halt
+        """)
+        assert bits_to_float(core.spec.regs[REG_F0 + 3]) == 4.0
+
+
+FP_REDUNDANT = """
+.data
+coef: .float 1.5, 2.5, 0.25, 4.0
+.text
+main:   li $s0, 250
+loop:   la $t0, coef
+        lwc1 $f1, 0($t0)
+        lwc1 $f2, 4($t0)
+        mul.s $f3, $f1, $f2      # identical FP work every iteration
+        add.s $f4, $f3, $f1
+        sub.s $f5, $f4, $f2
+        addi $s0, $s0, -1
+        bnez $s0, loop
+        halt
+"""
+
+
+class TestTechniquesOnFp:
+    def test_ir_reuses_fp_work(self):
+        _, base = run(FP_REDUNDANT)
+        _, reuse = run(FP_REDUNDANT, ir_config())
+        assert reuse.ir_result_reused > 0.3 * reuse.committed
+        assert reuse.cycles < base.cycles
+
+    def test_vp_predicts_fp_results(self):
+        _, stats = run(FP_REDUNDANT, vp_config())
+        assert stats.vp_result_correct > 0.3 * stats.committed
+
+    def test_fp_results_identical_across_techniques(self):
+        values = []
+        for config in (base_config(), ir_config(), vp_config()):
+            core, _ = run(FP_REDUNDANT, config)
+            values.append(core.spec.regs[REG_F0 + 5])
+        assert len(set(values)) == 1
+
+    def test_reuse_skips_the_fp_units(self):
+        _, base = run(FP_REDUNDANT)
+        _, reuse = run(FP_REDUNDANT, ir_config())
+        assert reuse.execution_attempts < base.execution_attempts

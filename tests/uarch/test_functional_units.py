@@ -1,0 +1,62 @@
+"""Unit tests for functional-unit pools."""
+
+from repro.isa import OpClass
+from repro.uarch.config import base_config
+from repro.uarch.functional_units import FUPool, FunctionalUnits
+
+
+class TestFUPool:
+    def test_grants_up_to_count(self):
+        pool = FUPool("alu", 2)
+        assert pool.try_issue(cycle=1, issue_interval=1)
+        assert pool.try_issue(cycle=1, issue_interval=1)
+        assert not pool.try_issue(cycle=1, issue_interval=1)
+
+    def test_units_free_after_interval(self):
+        pool = FUPool("div", 1)
+        assert pool.try_issue(cycle=1, issue_interval=19)
+        assert not pool.try_issue(cycle=10, issue_interval=19)
+        assert pool.try_issue(cycle=20, issue_interval=19)
+
+    def test_pipelined_unit_accepts_every_cycle(self):
+        pool = FUPool("mult", 1)
+        for cycle in range(1, 5):
+            assert pool.try_issue(cycle, issue_interval=1)
+
+    def test_available_counts(self):
+        pool = FUPool("alu", 3)
+        pool.try_issue(1, 5)
+        assert pool.available(1) == 2
+        assert pool.available(6) == 3
+
+    def test_grant_denial_accounting(self):
+        pool = FUPool("ls", 1)
+        pool.try_issue(1, 1)
+        pool.try_issue(1, 1)
+        assert pool.grants == 1
+        assert pool.denials == 1
+
+
+class TestFunctionalUnits:
+    def test_paper_pool_sizes(self):
+        units = FunctionalUnits(base_config())
+        assert len(units.pools[OpClass.INT_ALU].busy_until) == 8
+        assert len(units.pools[OpClass.LOAD_STORE].busy_until) == 2
+        assert len(units.pools[OpClass.INT_DIV].busy_until) == 1
+
+    def test_branches_share_alus(self):
+        units = FunctionalUnits(base_config())
+        assert units.pools[OpClass.BRANCH] is units.pools[OpClass.INT_ALU]
+
+    def test_mult_and_div_share_unit(self):
+        units = FunctionalUnits(base_config())
+        assert units.pools[OpClass.INT_MULT] is units.pools[OpClass.INT_DIV]
+        assert units.try_issue(OpClass.INT_DIV, 1, 19)
+        assert not units.try_issue(OpClass.INT_MULT, 5, 1)
+
+    def test_request_accounting_deduplicates_shared_pools(self):
+        units = FunctionalUnits(base_config())
+        units.try_issue(OpClass.INT_ALU, 1, 1)
+        units.try_issue(OpClass.BRANCH, 1, 1)
+        assert units.requests() == 2
+        assert units.denials() == 0

@@ -1,0 +1,128 @@
+"""Behavioural tests of load/store-queue timing (Table 1 memory rules).
+
+* loads execute only after all preceding store addresses are known;
+* store->load forwarding bypasses the data cache;
+* under VP address prediction, disambiguation is speculative and
+  memory-order violations replay the offending loads.
+"""
+
+import dataclasses
+
+from repro.isa import assemble
+from repro.uarch.config import base_config, vp_config
+from repro.uarch.core import OutOfOrderCore
+
+
+def run(source, config=None, max_cycles=300_000):
+    config = dataclasses.replace(config or base_config(),
+                                 verify_commits=True)
+    core = OutOfOrderCore(config, assemble(source))
+    stats = core.run(max_cycles=max_cycles)
+    assert stats.halted
+    return core, stats
+
+
+class TestStoreAddressGating:
+    def test_load_stalls_on_unknown_store_address(self):
+        """A slow store address computation delays a younger independent
+        load (conservative disambiguation)."""
+        gated = """
+        .data
+        a: .word 11
+        b: .word 22
+        .text
+        main:  li $s0, 60
+        loop:  li $t0, 1000
+               li $t1, 13
+               div $t2, $t0, $t1     # 20-cycle divide
+               andi $t2, $t2, 28
+               la $t3, a
+               add $t3, $t3, $t2
+               sw $t1, 0($t3)        # address depends on the divide
+               lw $t4, b             # independent load must wait anyway
+               add $s2, $s2, $t4
+               addi $s0, $s0, -1
+               bnez $s0, loop
+               halt
+        """
+        ungated = gated.replace("sw $t1, 0($t3)", "add $t5, $t1, $t3")
+
+        def mean_load_issue_delay(source):
+            config = dataclasses.replace(base_config(), verify_commits=True)
+            program = assemble(source)
+            core = OutOfOrderCore(config, program)
+            delays = []
+
+            def hook(op, cycle):
+                if op.is_load and op.issue_cycle is not None:
+                    delays.append(op.issue_cycle - op.dispatch_cycle)
+
+            core.on_commit = hook
+            core.run(max_cycles=300_000)
+            return sum(delays) / len(delays)
+
+        # the gated load waits for the divide-dependent store address
+        assert mean_load_issue_delay(gated) \
+            > mean_load_issue_delay(ungated) + 5
+
+    def test_dcache_not_accessed_when_forwarding(self):
+        source = """
+        .data
+        cell: .word 0
+        .text
+        main:  li $s0, 100
+        loop:  sw $s0, cell
+               lw $t0, cell          # always forwards from the store
+               add $s2, $s2, $t0
+               addi $s0, $s0, -1
+               bnez $s0, loop
+               halt
+        """
+        _, stats = run(source)
+        # most loads forward; far fewer cache accesses than loads
+        assert stats.dcache_accesses < 0.5 * stats.memory_ops
+
+    def test_forwarded_value_correct_through_sizes(self):
+        core, _ = run("""
+        .data
+        cell: .word 0
+        .text
+        main:  li $t0, 0x11223344
+               sw $t0, cell
+               lbu $t1, cell+1       # forwards a byte out of the word
+               halt
+        """)
+        assert core.spec.regs[9] == 0x33
+
+
+class TestAddressPredictionSpeculation:
+    STRIDE_STORES = """
+    .data
+    buf: .space 512
+    .text
+    main:  li $s0, 100
+           la $s1, buf
+    loop:  andi $t0, $s0, 31
+           sll $t0, $t0, 2
+           add $t1, $s1, $t0
+           sw $s0, 0($t1)          # store address varies over buf
+           lw $t2, buf             # load from a fixed location
+           add $s2, $s2, $t2
+           addi $s0, $s0, -1
+           bnez $s0, loop
+           halt
+    """
+
+    def test_results_correct_under_address_prediction(self):
+        core, stats = run(self.STRIDE_STORES, vp_config())
+        # every commit was verified against the functional simulator
+        assert stats.committed > 0
+
+    def test_disambiguation_still_correct_when_conflicting(self):
+        """Load aliases the store every 32nd iteration: speculative
+        disambiguation must replay, never produce a wrong value."""
+        core, _ = run(self.STRIDE_STORES, vp_config())
+        total = core.spec.regs[18]
+        # reference: functional semantics computed by the oracle already;
+        # reaching here with verify_commits on is the assertion.
+        assert total == core.spec.regs[18]

@@ -1,0 +1,141 @@
+"""Property-based tests against simple reference models (hypothesis).
+
+The cache, memory and gshare implementations are checked operation-by-
+operation against trivially-correct Python reference models over random
+operation sequences — the structures every timing result depends on.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.functional import Memory
+from repro.uarch.branch_predictor import Gshare
+from repro.uarch.cache import SetAssocCache
+from repro.uarch.config import BranchPredictorConfig, CacheConfig
+
+
+# --------------------------------------------------------------------- cache --
+
+class ReferenceCache:
+    """LRU set-associative cache as an obviously-correct dict of lists."""
+
+    def __init__(self, num_sets, assoc, line_bytes):
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.line_shift = line_bytes.bit_length() - 1
+        self.sets = {index: [] for index in range(num_sets)}
+
+    def access(self, address):
+        line = address >> self.line_shift
+        index = line % self.num_sets
+        tag = line // self.num_sets
+        ways = self.sets[index]
+        hit = tag in ways
+        if hit:
+            ways.remove(tag)
+        ways.insert(0, tag)
+        del ways[self.assoc:]
+        return hit
+
+
+@settings(max_examples=60, deadline=None)
+@given(addresses=st.lists(st.integers(min_value=0, max_value=0xFFFF),
+                          min_size=1, max_size=120))
+def test_cache_matches_reference(addresses):
+    config = CacheConfig(size_bytes=512, associativity=2, line_bytes=32)
+    cache = SetAssocCache(config)
+    reference = ReferenceCache(config.num_sets, 2, 32)
+    for address in addresses:
+        assert cache.access(address) == reference.access(address)
+
+
+@settings(max_examples=30, deadline=None)
+@given(addresses=st.lists(st.integers(min_value=0, max_value=0xFFFF),
+                          min_size=1, max_size=80),
+       assoc=st.sampled_from([1, 2, 4]))
+def test_cache_matches_reference_any_assoc(addresses, assoc):
+    config = CacheConfig(size_bytes=32 * 8 * assoc, associativity=assoc,
+                         line_bytes=32)
+    cache = SetAssocCache(config)
+    reference = ReferenceCache(config.num_sets, assoc, 32)
+    for address in addresses:
+        assert cache.access(address) == reference.access(address)
+
+
+# -------------------------------------------------------------------- memory --
+
+_mem_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["w1", "w2", "w4", "r1", "r2", "r4"]),
+        st.integers(min_value=0, max_value=0x2100),  # straddles pages
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+    ),
+    min_size=1, max_size=120)
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations=_mem_ops)
+def test_memory_matches_byte_dict(operations):
+    memory = Memory()
+    reference = {}
+    for op, address, value in operations:
+        nbytes = int(op[1])
+        if op[0] == "w":
+            memory.write(address, value, nbytes)
+            for offset in range(nbytes):
+                reference[address + offset] = (value >> (8 * offset)) & 0xFF
+        else:
+            expected = 0
+            for offset in range(nbytes):
+                expected |= reference.get(address + offset, 0) << (8 * offset)
+            assert memory.read(address, nbytes) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(address=st.integers(min_value=0, max_value=0x3000),
+       value=st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_memory_word_round_trip(address, value):
+    memory = Memory()
+    memory.write_word(address, value)
+    assert memory.read_word(address) == value
+
+
+# -------------------------------------------------------------------- gshare --
+
+class ReferenceGshare:
+    def __init__(self, history_bits, entries):
+        self.mask = entries - 1
+        self.hmask = (1 << history_bits) - 1
+        self.counters = {}
+        self.history = 0
+
+    def predict(self, pc):
+        index = ((pc >> 2) ^ self.history) & self.mask
+        taken = self.counters.get(index, 2) >= 2
+        self.history = ((self.history << 1) | int(taken)) & self.hmask
+        return taken
+
+    def update(self, pc, taken, history_before):
+        index = ((pc >> 2) ^ history_before) & self.mask
+        counter = self.counters.get(index, 2)
+        self.counters[index] = min(3, counter + 1) if taken \
+            else max(0, counter - 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(events=st.lists(
+    st.tuples(st.integers(min_value=0, max_value=0x3FC).map(lambda x: x * 4),
+              st.booleans()),
+    min_size=1, max_size=150))
+def test_gshare_matches_reference(events):
+    config = BranchPredictorConfig(history_bits=6, counter_entries=256)
+    gshare = Gshare(config)
+    reference = ReferenceGshare(6, 256)
+    for pc, actual in events:
+        history = gshare.history
+        predicted = gshare.predict(pc)
+        assert predicted == reference.predict(pc)
+        gshare.update(pc, actual, history)
+        reference.update(pc, actual, history)
+        # resolve: repair both histories with the actual outcome
+        gshare.repair(history, actual)
+        reference.history = ((history << 1) | int(actual)) & reference.hmask

@@ -1,0 +1,96 @@
+"""Unit tests for the checkpointed speculative state."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.uarch.spec_state import SpeculativeState
+
+
+@pytest.fixture
+def state():
+    return SpeculativeState(assemble("main: halt"))
+
+
+class TestRegisters:
+    def test_r0_write_ignored(self, state):
+        state.write_reg(0, 99)
+        assert state.read_reg(0) == 0
+
+    def test_write_wraps_32_bits(self, state):
+        state.write_reg(8, -1)
+        assert state.read_reg(8) == 0xFFFFFFFF
+
+    def test_sp_initialised(self, state):
+        assert state.read_reg(29) != 0
+
+
+class TestCheckpointing:
+    def test_restore_registers(self, state):
+        state.write_reg(8, 111)
+        checkpoint = state.take_checkpoint(pc=0x1000)
+        state.write_reg(8, 222)
+        state.restore(checkpoint)
+        assert state.read_reg(8) == 111
+        state.release_checkpoint(checkpoint)
+
+    def test_restore_memory(self, state):
+        state.write_mem(0x9000, 5, 4)
+        checkpoint = state.take_checkpoint(pc=0)
+        state.write_mem(0x9000, 77, 4)
+        state.write_mem(0x9004, 88, 4)
+        state.restore(checkpoint)
+        assert state.read_mem(0x9000, 4, False) == 5
+        assert state.read_mem(0x9004, 4, False) == 0
+        state.release_checkpoint(checkpoint)
+
+    def test_nested_checkpoints_restore_independently(self, state):
+        state.write_mem(0x100, 1, 4)
+        outer = state.take_checkpoint(pc=0)
+        state.write_mem(0x100, 2, 4)
+        inner = state.take_checkpoint(pc=4)
+        state.write_mem(0x100, 3, 4)
+        state.restore(inner)
+        assert state.read_mem(0x100, 4, False) == 2
+        state.release_checkpoint(inner)
+        state.restore(outer)
+        assert state.read_mem(0x100, 4, False) == 1
+        state.release_checkpoint(outer)
+
+    def test_checkpoint_reusable_after_restore(self, state):
+        checkpoint = state.take_checkpoint(pc=0)
+        state.write_mem(0x200, 9, 4)
+        state.restore(checkpoint)
+        state.write_mem(0x200, 10, 4)
+        state.restore(checkpoint)
+        assert state.read_mem(0x200, 4, False) == 0
+        state.release_checkpoint(checkpoint)
+
+    def test_journal_cleared_when_no_checkpoints(self, state):
+        checkpoint = state.take_checkpoint(pc=0)
+        state.write_mem(0x300, 1, 4)
+        state.release_checkpoint(checkpoint)
+        assert state.journal_length == 0
+
+    def test_no_journaling_without_checkpoints(self, state):
+        state.write_mem(0x400, 1, 4)
+        assert state.journal_length == 0
+
+    def test_partial_byte_store_restores(self, state):
+        state.write_mem(0x500, 0x11223344, 4)
+        checkpoint = state.take_checkpoint(pc=0)
+        state.write_mem(0x501, 0xFF, 1)
+        state.restore(checkpoint)
+        assert state.read_mem(0x500, 4, False) == 0x11223344
+        state.release_checkpoint(checkpoint)
+
+
+class TestProgramImage:
+    def test_data_loaded(self):
+        program = assemble("""
+        .data
+        v: .word 42
+        .text
+        main: halt
+        """)
+        state = SpeculativeState(program)
+        assert state.read_mem(program.symbol("v"), 4, False) == 42

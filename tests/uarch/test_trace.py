@@ -1,0 +1,88 @@
+"""Tests for the pipeline tracer."""
+
+import dataclasses
+
+from repro.isa import assemble
+from repro.uarch.config import base_config, ir_config, vp_config
+from repro.uarch.core import OutOfOrderCore
+from repro.uarch.trace import PipelineTracer
+
+SOURCE = """
+main:   li $s0, 30
+loop:   li $t0, 4
+        add $t1, $t0, $t0
+        add $t2, $t1, $t1
+        addi $s0, $s0, -1
+        bnez $s0, loop
+        halt
+"""
+
+
+def traced_run(config, limit=64, start_cycle=0):
+    config = dataclasses.replace(config, verify_commits=True)
+    core = OutOfOrderCore(config, assemble(SOURCE))
+    tracer = PipelineTracer(core, limit=limit, start_cycle=start_cycle)
+    core.run(max_cycles=20_000)
+    return tracer
+
+
+class TestRecording:
+    def test_records_in_commit_order(self):
+        tracer = traced_run(base_config())
+        commits = [record.commit for record in tracer.records]
+        assert commits == sorted(commits)
+
+    def test_limit_respected(self):
+        tracer = traced_run(base_config(), limit=5)
+        assert len(tracer.records) == 5
+
+    def test_start_cycle_skips_warmup(self):
+        tracer = traced_run(base_config(), start_cycle=50)
+        assert all(record.commit >= 50 for record in tracer.records)
+
+    def test_stage_ordering_invariant(self):
+        for record in traced_run(base_config()).records:
+            assert record.dispatch <= record.complete <= record.commit
+            if record.issue is not None:
+                assert record.dispatch < record.issue
+
+    def test_origin_labels(self):
+        reuse_tracer = traced_run(ir_config(), limit=64)
+        assert any(r.origin == "reused" for r in reuse_tracer.records)
+        vp_tracer = traced_run(vp_config(), limit=64)
+        assert any(r.origin.startswith("predicted")
+                   for r in vp_tracer.records)
+
+    def test_executions_counted(self):
+        tracer = traced_run(base_config())
+        executed = [r for r in tracer.records if r.origin == "executed"
+                    and not r.text.startswith(("j ", "jal", "nop", "halt"))]
+        assert all(r.executions >= 1 for r in executed)
+
+    def test_detach_restores_hook(self):
+        core = OutOfOrderCore(base_config(), assemble(SOURCE))
+        tracer = PipelineTracer(core)
+        tracer.detach()
+        assert core.on_commit is None
+
+
+class TestRendering:
+    def test_render_contains_instructions(self):
+        text = traced_run(base_config()).render()
+        assert "add" in text and "commit" in text
+
+    def test_render_relative_cycles_start_at_zero(self):
+        tracer = traced_run(base_config())
+        first_line = tracer.render().splitlines()[2]
+        assert " 0 " in first_line or first_line.split()[-5] == "0"
+
+    def test_empty_trace_renders(self):
+        core = OutOfOrderCore(base_config(), assemble("main: halt"))
+        tracer = PipelineTracer(core, start_cycle=10_000)
+        core.run(max_cycles=100)
+        assert "no instructions" in tracer.render()
+
+    def test_chain_spread_smaller_with_reuse(self):
+        base = traced_run(base_config(), limit=20, start_cycle=40)
+        reuse = traced_run(ir_config(), limit=20, start_cycle=40)
+        assert reuse.chain_spread() <= base.chain_spread()

@@ -1,0 +1,221 @@
+"""Behavioural tests: value prediction in the timing core.
+
+These check the Section 3/4 mechanisms: dependence collapse through
+predicted values, verification and selective re-execution (only the chain
+head pays the penalty), the SB/NSB branch-resolution policies, spurious
+squashes, multiple-execution accounting, and verification latency.
+"""
+
+import dataclasses
+
+from repro.isa import assemble
+from repro.uarch.config import (
+    BranchPolicy,
+    PredictorKind,
+    ReexecPolicy,
+    base_config,
+    vp_config,
+)
+from repro.uarch.core import OutOfOrderCore
+
+
+def run(source, config, max_instructions=None, max_cycles=400_000):
+    config = dataclasses.replace(config, verify_commits=True)
+    core = OutOfOrderCore(config, assemble(source))
+    stats = core.run(max_cycles=max_cycles, max_instructions=max_instructions)
+    return core, stats
+
+
+# Long dependent chain recomputed with identical values each iteration:
+# perfectly predictable, dataflow-bound on the base machine.
+_CHAIN = "\n".join(
+    f"        add $t{i % 4 + 1}, $t{(i - 1) % 4 + 1}, $t{(i - 1) % 4 + 1}"
+    for i in range(1, 12))
+PREDICTABLE = f"""
+main:   li $s0, 400
+loop:   li $t1, 21
+{_CHAIN}
+        addi $s0, $s0, -1
+        bnez $s0, loop
+        halt
+"""
+
+# The chain values alternate between two sets per iteration parity: the
+# last-value predictor mispredicts persistently, VP_Magic does not.
+ALTERNATING = """
+main:   li $s0, 400
+loop:   andi $t0, $s0, 1
+        sll $t1, $t0, 3
+        addi $t2, $t1, 5
+        add $t3, $t2, $t2
+        add $t4, $t3, $t3
+        add $t5, $t4, $t4
+        addi $s0, $s0, -1
+        bnez $s0, loop
+        halt
+"""
+
+
+class TestPredictionEngagement:
+    def test_predictable_chain_speeds_up(self):
+        _, base = run(PREDICTABLE, base_config())
+        _, vp = run(PREDICTABLE, vp_config())
+        assert vp.cycles < base.cycles
+
+    def test_predictions_are_counted(self):
+        _, stats = run(PREDICTABLE, vp_config())
+        assert stats.vp_result_predicted > 0.5 * stats.committed
+        assert stats.vp_result_correct >= 0.95 * stats.vp_result_predicted
+
+    def test_predicted_instructions_still_execute(self):
+        """Unlike IR, VP validates late: every instruction executes."""
+        _, base = run(PREDICTABLE, base_config())
+        _, vp = run(PREDICTABLE, vp_config())
+        assert vp.execution_attempts >= base.execution_attempts
+
+    def test_architectural_results_unchanged(self):
+        core, _ = run(PREDICTABLE, vp_config())
+        assert core.spec.regs[12] == 21 * (1 << 11)
+
+    def test_magic_beats_lvp_on_alternating_values(self):
+        _, magic = run(ALTERNATING, vp_config(PredictorKind.MAGIC))
+        _, lvp = run(ALTERNATING, vp_config(PredictorKind.LAST_VALUE))
+        assert magic.vp_result_correct > lvp.vp_result_correct
+        assert (magic.vp_result_predicted - magic.vp_result_correct) \
+            <= (lvp.vp_result_predicted - lvp.vp_result_correct)
+
+
+# Values stay stable for 64 iterations then change: the last-value
+# predictor becomes confident and then mispredicts at each phase change.
+PHASED = """
+main:   li $s0, 1600
+loop:   srl $t0, $s0, 6
+        addi $t1, $t0, 3
+        add $t2, $t1, $t1
+        add $t3, $t2, $t2
+        addi $s0, $s0, -1
+        bnez $s0, loop
+        halt
+"""
+
+
+class TestMispredictionRecovery:
+    def test_wrong_predictions_trigger_reexecution(self):
+        _, stats = run(PHASED, vp_config(PredictorKind.LAST_VALUE))
+        mispredicted = stats.vp_result_predicted - stats.vp_result_correct
+        assert mispredicted > 0
+        multi = sum(count for times, count
+                    in stats.exec_count_histogram.items() if times >= 2)
+        assert multi > 0
+
+    def test_nme_limits_executions_to_two(self):
+        _, stats = run(PHASED,
+                       vp_config(PredictorKind.LAST_VALUE,
+                                 reexec=ReexecPolicy.SINGLE))
+        assert max(stats.exec_count_histogram) <= 2
+
+    def test_most_instructions_execute_once(self):
+        """Table 6: even under heavy misprediction, multiple execution is
+        rare because only actual consumers of wrong values replay."""
+        _, stats = run(PHASED, vp_config(PredictorKind.LAST_VALUE))
+        assert stats.exec_count_fraction(1) > 0.6
+
+
+class TestBranchPolicies:
+    def test_nsb_has_no_extra_squashes(self):
+        _, base = run(ALTERNATING, base_config())
+        _, nsb = run(ALTERNATING,
+                     vp_config(PredictorKind.LAST_VALUE,
+                               branches=BranchPolicy.NON_SPECULATIVE))
+        assert nsb.spurious_squashes == 0
+        assert nsb.branch_squashes <= base.branch_squashes + 2
+
+    def test_sb_resolves_branches_sooner_than_nsb(self):
+        _, sb = run(PREDICTABLE, vp_config(
+            branches=BranchPolicy.SPECULATIVE, verify_latency=1))
+        _, nsb = run(PREDICTABLE, vp_config(
+            branches=BranchPolicy.NON_SPECULATIVE, verify_latency=1))
+        assert (sb.mean_branch_resolution_latency
+                <= nsb.mean_branch_resolution_latency)
+
+    def test_spurious_squashes_under_sb_with_bad_predictions(self):
+        # branch condition depends on a value LVP persistently mispredicts
+        source = """
+        main:   li $s0, 400
+        loop:   andi $t0, $s0, 1
+                addi $t1, $t0, 1
+                beq $t1, $zero, never
+                addi $s1, $s1, 1
+        never:  addi $s0, $s0, -1
+                bnez $s0, loop
+                halt
+        """
+        _, stats = run(source, vp_config(PredictorKind.LAST_VALUE,
+                                         branches=BranchPolicy.SPECULATIVE))
+        _, base = run(source, base_config())
+        assert stats.branch_squashes >= base.branch_squashes
+
+
+class TestVerificationLatency:
+    def test_latency_delays_nsb_more_than_sb(self):
+        """Figure 6: 1-cycle verification hurts NSB configurations more."""
+        def cycles(branches, latency):
+            _, stats = run(PREDICTABLE,
+                           vp_config(branches=branches,
+                                     verify_latency=latency))
+            return stats.cycles
+
+        sb_cost = cycles(BranchPolicy.SPECULATIVE, 1) \
+            - cycles(BranchPolicy.SPECULATIVE, 0)
+        nsb_cost = cycles(BranchPolicy.NON_SPECULATIVE, 1) \
+            - cycles(BranchPolicy.NON_SPECULATIVE, 0)
+        assert nsb_cost >= sb_cost
+
+    def test_latency_never_helps(self):
+        for branches in (BranchPolicy.SPECULATIVE,
+                         BranchPolicy.NON_SPECULATIVE):
+            _, v0 = run(PREDICTABLE, vp_config(branches=branches,
+                                               verify_latency=0))
+            _, v1 = run(PREDICTABLE, vp_config(branches=branches,
+                                               verify_latency=1))
+            assert v1.cycles >= v0.cycles
+
+
+class TestAddressPrediction:
+    LOADS = """
+    .data
+    tbl: .word 11, 22, 33, 44
+    .text
+    main:   li $s0, 400
+    loop:   li $t0, 8
+            lw $t1, tbl($t0)
+            add $t2, $t1, $t1
+            addi $s0, $s0, -1
+            bnez $s0, loop
+            halt
+    """
+
+    def test_load_addresses_predicted(self):
+        _, stats = run(self.LOADS, vp_config())
+        assert stats.vp_addr_correct > 0.5 * stats.memory_ops
+
+    def test_address_prediction_preserves_results(self):
+        core, _ = run(self.LOADS, vp_config())
+        assert core.spec.regs[10] == 66  # $t2 = 33 + 33
+
+
+class TestRegressionSqueezeCascade:
+    def test_nsb_finalize_cascade_on_memory_heavy_workload(self):
+        """Regression: a load-finalize cascade that resolves a branch used
+        to mutate the LSQ while it was being iterated (NME-NSB on the
+        ijpeg analog)."""
+        from repro.workloads import get_workload
+        spec = get_workload("ijpeg")
+        config = dataclasses.replace(
+            vp_config(PredictorKind.MAGIC, ReexecPolicy.SINGLE,
+                      BranchPolicy.NON_SPECULATIVE, 0),
+            verify_commits=True)
+        core = OutOfOrderCore(config, spec.program())
+        core.skip(spec.skip_instructions)
+        stats = core.run(max_instructions=8_000, max_cycles=300_000)
+        assert stats.committed >= 8_000

@@ -1,0 +1,137 @@
+"""Tests for the seven SPECint95-analog workloads.
+
+Each analog must (a) assemble and run deterministically without halting
+within the experiment budget, (b) exhibit the qualitative properties its
+namesake is chosen for (branch-prediction band, redundancy signature),
+and (c) run correctly through the timing core in every technique
+configuration (spot-checked here; the full matrix runs in the
+differential suite).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.functional import FunctionalSimulator
+from repro.redundancy import RedundancyClassifier
+from repro.uarch.config import base_config, ir_config, vp_config
+from repro.uarch.core import OutOfOrderCore
+from repro.workloads import all_workloads, get_workload, workload_names
+
+ALL_NAMES = ["go", "m88ksim", "ijpeg", "perl", "vortex", "gcc", "compress"]
+
+
+class TestRegistry:
+    def test_all_seven_registered(self):
+        assert sorted(workload_names()) == sorted(ALL_NAMES)
+
+    def test_get_workload(self):
+        spec = get_workload("go")
+        assert spec.name == "go"
+        assert spec.paper.branch_pred_rate == 75.8
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("nonesuch")
+
+    def test_specs_carry_paper_reference(self):
+        for spec in all_workloads().values():
+            assert spec.paper.inst_count_millions > 100
+            assert 70 < spec.paper.branch_pred_rate <= 100
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestFunctionalBehaviour:
+    def test_assembles(self, name):
+        program = get_workload(name).program()
+        assert program.num_instructions > 30
+
+    def test_runs_past_skip_without_halting(self, name):
+        spec = get_workload(name)
+        sim = FunctionalSimulator(spec.program())
+        ran = sim.run(spec.skip_instructions + 20_000)
+        assert not sim.halted
+        assert ran == spec.skip_instructions + 20_000
+
+    def test_deterministic(self, name):
+        spec = get_workload(name)
+
+        def fingerprint():
+            sim = FunctionalSimulator(spec.program())
+            sim.run(spec.skip_instructions + 5_000)
+            return tuple(sim.state.regs)
+
+        assert fingerprint() == fingerprint()
+
+    def test_high_redundancy(self, name):
+        """All SPECint95 programs show >70% repeated results (Sec 1)."""
+        spec = get_workload(name)
+        sim = FunctionalSimulator(spec.program())
+        sim.skip(spec.skip_instructions + 20_000)
+        classifier = RedundancyClassifier()
+        for outcome in sim.stream(30_000):
+            classifier.observe(outcome)
+        counts = classifier.counts
+        assert counts.repeated > 0.70 * counts.producing, (
+            f"{name}: repeated fraction "
+            f"{counts.repeated / counts.producing:.2f}")
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestTimingBehaviour:
+    def _run(self, name, config, insts=6_000):
+        spec = get_workload(name)
+        config = dataclasses.replace(config, verify_commits=True)
+        core = OutOfOrderCore(config, spec.program())
+        core.skip(spec.skip_instructions)
+        stats = core.run(max_instructions=insts, max_cycles=200_000)
+        assert stats.committed >= insts * 0.9
+        return stats
+
+    def test_base_run_verifies_against_oracle(self, name):
+        stats = self._run(name, base_config())
+        assert 0.3 < stats.ipc <= 4.0
+
+    def test_reuse_engages(self, name):
+        stats = self._run(name, ir_config())
+        assert stats.ir_result_reused + stats.ir_addr_reused > 0
+
+    def test_vp_engages(self, name):
+        stats = self._run(name, vp_config())
+        assert stats.vp_result_predicted > 0
+
+
+class TestBranchPredictionBands:
+    """Branch prediction rates must order like Table 2: go hardest,
+    vortex easiest."""
+
+    @pytest.fixture(scope="class")
+    def rates(self):
+        rates = {}
+        for name in ("go", "m88ksim", "vortex"):
+            spec = get_workload(name)
+            core = OutOfOrderCore(base_config(), spec.program())
+            core.skip(spec.skip_instructions)
+            stats = core.run(max_instructions=10_000, max_cycles=200_000)
+            rates[name] = stats.branch_prediction_rate
+        return rates
+
+    def test_go_is_hardest(self, rates):
+        assert rates["go"] < rates["m88ksim"]
+        assert rates["go"] < rates["vortex"]
+
+    def test_go_band(self, rates):
+        assert 0.65 < rates["go"] < 0.85
+
+    def test_regular_codes_band(self, rates):
+        assert rates["m88ksim"] > 0.90
+        assert rates["vortex"] > 0.90
+
+
+class TestCompressSignature:
+    def test_address_reuse_dominates_result_reuse(self):
+        spec = get_workload("compress")
+        core = OutOfOrderCore(ir_config(), spec.program())
+        core.skip(spec.skip_instructions)
+        stats = core.run(max_instructions=10_000, max_cycles=300_000)
+        assert stats.ir_addr_rate > 1.5 * stats.ir_result_rate

@@ -1,0 +1,59 @@
+"""Unit tests for the workload registry and spec plumbing."""
+
+import pytest
+
+from repro.isa import Program
+from repro.workloads import all_workloads, get_workload
+from repro.workloads.spec import PaperReference, WorkloadSpec, register
+
+
+class TestSpec:
+    def test_source_and_program(self):
+        spec = get_workload("compress")
+        assert isinstance(spec.source(), str)
+        assert isinstance(spec.program(), Program)
+
+    def test_program_is_rebuilt_each_call(self):
+        spec = get_workload("compress")
+        assert spec.program() is not spec.program()
+
+    def test_duplicate_registration_rejected(self):
+        spec = get_workload("go")
+        with pytest.raises(ValueError, match="duplicate"):
+            register(spec)
+
+    def test_all_workloads_returns_copy(self):
+        first = all_workloads()
+        first.pop("go")
+        assert "go" in all_workloads()
+
+
+class TestPaperReference:
+    def test_table3_fields_present(self):
+        for spec in all_workloads().values():
+            paper = spec.paper
+            assert paper.ir_result_rate > 0
+            assert paper.ir_addr_rate > 0
+            assert paper.vp_magic_result_rate >= paper.vp_lvp_result_rate \
+                or spec.name == "ijpeg"  # the paper's one exception
+
+    def test_compress_signature_encoded(self):
+        paper = get_workload("compress").paper
+        assert paper.ir_addr_rate > 3 * paper.ir_result_rate
+
+    def test_go_is_least_predictable(self):
+        rates = {name: spec.paper.branch_pred_rate
+                 for name, spec in all_workloads().items()}
+        assert min(rates, key=rates.get) == "go"
+
+    def test_skip_covers_init(self):
+        """The skip must put the timing window past the init phase: all
+        analogs' init loops finish within their declared skip."""
+        from repro.functional import FunctionalSimulator
+        for name, spec in all_workloads().items():
+            sim = FunctionalSimulator(spec.program())
+            sim.skip(spec.skip_instructions)
+            # after the skip we must be in the steady-state loop: running
+            # further must not halt
+            sim.run(2_000)
+            assert not sim.halted, f"{name} halted right after skip"
