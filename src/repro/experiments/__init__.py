@@ -4,11 +4,15 @@ from .runner import (
     DEFAULT_INSTRUCTIONS,
     DEFAULT_MAX_CYCLES,
     ExperimentRunner,
+    Pair,
+    default_jobs,
     default_runner,
 )
 
 __all__ = [
     "ExperimentRunner",
+    "Pair",
+    "default_jobs",
     "default_runner",
     "DEFAULT_INSTRUCTIONS",
     "DEFAULT_MAX_CYCLES",

@@ -32,7 +32,7 @@ from ..uarch.config import (
 )
 from ..workloads import all_workloads
 from .configs import BASE
-from .runner import ExperimentRunner
+from .runner import ExperimentRunner, Pair
 
 _DEFAULT_WORKLOADS = ("go", "m88ksim", "perl", "compress")
 
@@ -48,6 +48,11 @@ def predictors(runner: ExperimentRunner,
         headers=["bench", "VP_Magic", "VP_LVP", "VP_Stride",
                  "stride correct %"],
     )
+    runner.prefetch(
+        [(name, config) for name in workloads
+         for config in (BASE, vp_config(PredictorKind.MAGIC),
+                        vp_config(PredictorKind.LAST_VALUE),
+                        vp_config(PredictorKind.STRIDE))])
     speedups = {kind: [] for kind in PredictorKind}
     for name in workloads:
         base = runner.run(name, BASE)
@@ -74,6 +79,9 @@ def hybrid(runner: ExperimentRunner,
         headers=["bench", "VP speedup", "IR speedup", "hybrid speedup",
                  "hybrid reuse %", "hybrid pred %"],
     )
+    runner.prefetch([(name, config) for name in workloads
+                     for config in (BASE, vp_config(), ir_config(),
+                                    hybrid_config())])
     vp_speedups, ir_speedups, hybrid_speedups = [], [], []
     for name in workloads:
         base = runner.run(name, BASE)
@@ -95,59 +103,75 @@ def hybrid(runner: ExperimentRunner,
     return report
 
 
+def _storage_configs(scales: Iterable[int]) -> List:
+    configs = []
+    for scale in scales:
+        config = vp_config()
+        configs.append(dataclasses.replace(
+            config, name=f"{config.name}-e{16384 // scale}",
+            vp=dataclasses.replace(config.vp, entries=16384 // scale)))
+    for scale in scales:
+        config = ir_config()
+        configs.append(dataclasses.replace(
+            config, name=f"{config.name}-e{4096 // scale}",
+            ir=dataclasses.replace(config.ir, entries=4096 // scale)))
+    return configs
+
+
 def storage(runner: ExperimentRunner,
             workloads: Iterable[str] = _DEFAULT_WORKLOADS,
             scales: Iterable[int] = (1, 4, 16)) -> Report:
     """Divide both structures' entry counts by each scale factor."""
+    scales = tuple(scales)
     report = Report(
         title="Ablation: structure capacity (entries divided by scale; "
               "VPT:RB stays 4:1)",
         headers=["bench"] + [f"VP /{s}" for s in scales]
                 + [f"IR /{s}" for s in scales],
     )
+    configs = _storage_configs(scales)
+    runner.prefetch([(name, config) for name in workloads
+                     for config in [BASE] + configs])
     for name in workloads:
         base = runner.run(name, BASE)
-        cells: List[float] = []
-        for scale in scales:
-            config = vp_config()
-            config = dataclasses.replace(
-                config, name=f"{config.name}-e{16384 // scale}",
-                vp=dataclasses.replace(config.vp, entries=16384 // scale))
-            cells.append(speedup(runner.run(name, config), base))
-        for scale in scales:
-            config = ir_config()
-            config = dataclasses.replace(
-                config, name=f"{config.name}-e{4096 // scale}",
-                ir=dataclasses.replace(config.ir, entries=4096 // scale))
-            cells.append(speedup(runner.run(name, config), base))
+        cells = [speedup(runner.run(name, config), base)
+                 for config in configs]
         report.add_row(name, *cells)
     return report
+
+
+def _instance_configs(ways: Iterable[int]) -> List:
+    configs = []
+    for way in ways:
+        config = vp_config()
+        configs.append(dataclasses.replace(
+            config, name=f"{config.name}-a{way}",
+            vp=dataclasses.replace(config.vp, associativity=way)))
+    for way in ways:
+        config = ir_config()
+        configs.append(dataclasses.replace(
+            config, name=f"{config.name}-a{way}",
+            ir=dataclasses.replace(config.ir, associativity=way)))
+    return configs
 
 
 def instances(runner: ExperimentRunner,
               workloads: Iterable[str] = _DEFAULT_WORKLOADS,
               ways: Iterable[int] = (1, 2, 4)) -> Report:
     """Vary instances-per-instruction at constant entry count."""
+    ways = tuple(ways)
     report = Report(
         title="Ablation: instances per static instruction (associativity)",
         headers=["bench"] + [f"VP {w}w" for w in ways]
                 + [f"IR {w}w" for w in ways],
     )
+    configs = _instance_configs(ways)
+    runner.prefetch([(name, config) for name in workloads
+                     for config in [BASE] + configs])
     for name in workloads:
         base = runner.run(name, BASE)
-        cells: List[float] = []
-        for way in ways:
-            config = vp_config()
-            config = dataclasses.replace(
-                config, name=f"{config.name}-a{way}",
-                vp=dataclasses.replace(config.vp, associativity=way))
-            cells.append(speedup(runner.run(name, config), base))
-        for way in ways:
-            config = ir_config()
-            config = dataclasses.replace(
-                config, name=f"{config.name}-a{way}",
-                ir=dataclasses.replace(config.ir, associativity=way))
-            cells.append(speedup(runner.run(name, config), base))
+        cells = [speedup(runner.run(name, config), base)
+                 for config in configs]
         report.add_row(name, *cells)
     report.add_note("VP_Magic's oracle selection and the RB's instance "
                     "matching both lose coverage with fewer instances")
@@ -166,6 +190,10 @@ def upper_bound(runner: ExperimentRunner,
               "schemes",
         headers=["bench", "VP_Magic", "VP_Perfect", "headroom %"],
     )
+    runner.prefetch(
+        [(name, config) for name in workloads
+         for config in (BASE, vp_config(),
+                        vp_config(PredictorKind.PERFECT))])
     for name in workloads:
         base = runner.run(name, BASE)
         magic = speedup(runner.run(name, vp_config()), base)
@@ -174,6 +202,17 @@ def upper_bound(runner: ExperimentRunner,
         headroom = 100.0 * (perfect - magic) / magic if magic else 0.0
         report.add_row(name, magic, perfect, headroom)
     return report
+
+
+def _confidence_configs(thresholds: Iterable[int]) -> List:
+    configs = []
+    for threshold in thresholds:
+        config = vp_config()
+        configs.append(dataclasses.replace(
+            config, name=f"{config.name}-t{threshold}",
+            vp=dataclasses.replace(config.vp,
+                                   confidence_threshold=threshold)))
+    return configs
 
 
 def confidence(runner: ExperimentRunner,
@@ -188,16 +227,14 @@ def confidence(runner: ExperimentRunner,
         headers=["bench"] + [f"thr {t}" for t in thresholds]
                 + [f"mis% thr {t}" for t in thresholds],
     )
+    configs = _confidence_configs(thresholds)
+    runner.prefetch([(name, config) for name in workloads
+                     for config in [BASE] + configs])
     for name in workloads:
         base = runner.run(name, BASE)
         cells: List[float] = []
         misses: List[float] = []
-        for threshold in thresholds:
-            config = vp_config()
-            config = dataclasses.replace(
-                config, name=f"{config.name}-t{threshold}",
-                vp=dataclasses.replace(config.vp,
-                                       confidence_threshold=threshold))
+        for config in configs:
             stats = runner.run(name, config)
             cells.append(speedup(stats, base))
             misses.append(100.0 * stats.vp_result_misp_rate)
@@ -217,14 +254,16 @@ def chaining(runner: ExperimentRunner,
         headers=["bench", "S_n speedup", "S_n+d speedup",
                  "S_n reuse %", "S_n+d reuse %"],
     )
+    no_chain_config = ir_config()
+    no_chain_config = dataclasses.replace(
+        no_chain_config, name="reuse-n",
+        ir=dataclasses.replace(no_chain_config.ir,
+                               dependence_chaining=False))
+    runner.prefetch([(name, config) for name in workloads
+                     for config in (BASE, ir_config(), no_chain_config)])
     for name in workloads:
         base = runner.run(name, BASE)
         full = runner.run(name, ir_config())
-        no_chain_config = ir_config()
-        no_chain_config = dataclasses.replace(
-            no_chain_config, name="reuse-n",
-            ir=dataclasses.replace(no_chain_config.ir,
-                                   dependence_chaining=False))
         no_chain = runner.run(name, no_chain_config)
         report.add_row(name,
                        speedup(no_chain, base), speedup(full, base),
@@ -233,7 +272,29 @@ def chaining(runner: ExperimentRunner,
     return report
 
 
+def pairs(workloads: Iterable[str] = _DEFAULT_WORKLOADS) -> List[Pair]:
+    """Union of every sub-ablation's (workload, config) pairs, so a sweep
+    can fan the whole suite out in one pool."""
+    workloads = tuple(workloads)
+    no_chain_config = ir_config()
+    no_chain_config = dataclasses.replace(
+        no_chain_config, name="reuse-n",
+        ir=dataclasses.replace(no_chain_config.ir,
+                               dependence_chaining=False))
+    configs = ([BASE, ir_config(), hybrid_config(), no_chain_config]
+               + [vp_config(kind) for kind in PredictorKind]
+               + _storage_configs((1, 4, 16))
+               + _instance_configs((1, 2, 4))
+               + _confidence_configs((1, 2, 3)))
+    unique = {}
+    for config in configs:
+        unique.setdefault(config.name, config)
+    return [(name, config) for name in workloads
+            for config in unique.values()]
+
+
 def run(runner: ExperimentRunner) -> List[Report]:
+    runner.prefetch(pairs())
     return [hybrid(runner), predictors(runner), storage(runner),
             instances(runner), upper_bound(runner), confidence(runner),
             chaining(runner)]

@@ -32,6 +32,12 @@ def _measure(runner: ExperimentRunner, workload: str, config):
     return breakdown
 
 
+def pairs() -> list:
+    """Breakdowns need the commit hook and bypass the JSON cache, so
+    there is nothing to prefetch (kept for CLI sweep uniformity)."""
+    return []
+
+
 def run(runner: ExperimentRunner,
         workloads: Iterable[str] | None = None) -> Report:
     names = list(workloads) if workloads else list(all_workloads())

@@ -4,8 +4,14 @@ Usage::
 
     repro-experiment table3
     repro-experiment figure6 --instructions 50000
-    repro-experiment all --instructions 30000
+    repro-experiment all --instructions 30000 --jobs 8
     python -m repro.experiments.cli figure8
+
+``--jobs N`` fans uncached (workload x config) simulations out over N
+worker processes (default: all cores).  The result cache is written
+canonically and atomically with per-key file locking, so a parallel
+sweep produces byte-identical cache files to ``--jobs 1`` — see the
+determinism contract in ``docs/internals.md``.
 """
 
 from __future__ import annotations
@@ -15,7 +21,13 @@ import sys
 from typing import Callable, Dict, List
 
 from ..metrics.report import Report
-from .runner import DEFAULT_INSTRUCTIONS, ExperimentRunner, default_runner
+from .runner import (
+    DEFAULT_INSTRUCTIONS,
+    ExperimentRunner,
+    Pair,
+    default_jobs,
+    default_runner,
+)
 from . import (
     ablations,
     breakdown_experiment,
@@ -59,6 +71,28 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentRunner], List[Report]]] = {
     "breakdown": _single(breakdown_experiment),
 }
 
+#: Each experiment's (workload, config) pairs, so a multi-experiment
+#: invocation can warm the cache in one pool instead of one pool per
+#: experiment (shared pairs — e.g. every base run — are deduplicated).
+PAIRS: Dict[str, Callable[[], List[Pair]]] = {
+    "table2": table2.pairs,
+    "table3": table3.pairs,
+    "table4": table4.pairs,
+    "table5": table5.pairs,
+    "table6": table6.pairs,
+    "figure3": figure3.pairs,
+    "figure4": figure4.pairs,
+    "figure5": figure5.pairs,
+    "figure6": figure6.pairs,
+    "figure7": figure7.pairs,
+    "figure8": figure8.pairs,
+    "figure9": figure9.pairs,
+    "figure10": figure10.pairs,
+    "ablations": ablations.pairs,
+    "sensitivity": sensitivity.pairs,
+    "breakdown": breakdown_experiment.pairs,
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -71,6 +105,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--instructions", type=int,
                         default=DEFAULT_INSTRUCTIONS,
                         help="committed-instruction budget per run")
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="worker processes for uncached simulations "
+                             f"(default: all cores, here {default_jobs()}; "
+                             "1 = serial)")
     parser.add_argument("--no-cache", action="store_true",
                         help="do not read or write the results/ cache")
     parser.add_argument("--verify", action="store_true",
@@ -85,12 +123,18 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: List[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     overrides = {"max_instructions": args.instructions,
-                 "verify": args.verify}
+                 "verify": args.verify,
+                 "jobs": args.jobs}
     if args.no_cache:
         overrides["cache_dir"] = None
     runner = default_runner(**overrides)
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
+    sweep: List[Pair] = []
+    for name in names:
+        sweep.extend(PAIRS[name]())
+    if sweep:
+        runner.prefetch(sweep)
     for name in names:
         for report in EXPERIMENTS[name](runner):
             print()

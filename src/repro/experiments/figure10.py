@@ -12,6 +12,12 @@ from ..workloads import all_workloads
 from .runner import ExperimentRunner
 
 
+def pairs() -> list:
+    """Limit studies use only the functional simulator: no timing pairs
+    to prefetch (kept for CLI sweep uniformity)."""
+    return []
+
+
 def run(runner: ExperimentRunner, producer_distance: int = 50) -> Report:
     report = Report(
         title="Figure 10: amount of redundancy that can be reused "

@@ -8,14 +8,22 @@ validation is deferred.
 
 from __future__ import annotations
 
+from typing import List
+
 from ..metrics.report import Report
 from ..metrics.stats import harmonic_mean, speedup
 from ..workloads import all_workloads
 from .configs import BASE, IR_EARLY, IR_LATE
-from .runner import ExperimentRunner
+from .runner import ExperimentRunner, Pair
+
+
+def pairs() -> List[Pair]:
+    return [(name, config) for name in all_workloads()
+            for config in (BASE, IR_EARLY, IR_LATE)]
 
 
 def run(runner: ExperimentRunner) -> Report:
+    runner.prefetch(pairs())
     report = Report(
         title="Figure 3: % speedup over base with early vs late validation "
               "of reused results",

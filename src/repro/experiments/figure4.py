@@ -14,11 +14,23 @@ from ..metrics.report import Report
 from ..uarch.config import BranchPolicy, PredictorKind, ReexecPolicy
 from ..workloads import all_workloads
 from .configs import BASE, IR_EARLY, short_vp_name, vp_config, vp_matrix
-from .runner import ExperimentRunner
+from .runner import ExperimentRunner, Pair
+
+
+def pairs_for(verify_latency: int = 0,
+              kind: PredictorKind = PredictorKind.MAGIC) -> List[Pair]:
+    configs = [BASE, IR_EARLY] + vp_matrix(kind, verify_latency)
+    return [(name, config) for name in all_workloads()
+            for config in configs]
+
+
+def pairs() -> List[Pair]:
+    return pairs_for(0) + pairs_for(1)
 
 
 def run(runner: ExperimentRunner, verify_latency: int = 0,
         kind: PredictorKind = PredictorKind.MAGIC) -> Report:
+    runner.prefetch(pairs_for(verify_latency, kind))
     part = "a" if verify_latency == 0 else "b"
     configs = vp_matrix(kind, verify_latency)
     report = Report(
@@ -43,4 +55,5 @@ def run(runner: ExperimentRunner, verify_latency: int = 0,
 
 
 def run_both(runner: ExperimentRunner) -> List[Report]:
+    runner.prefetch(pairs())
     return [run(runner, 0), run(runner, 1)]

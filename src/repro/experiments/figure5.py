@@ -9,14 +9,24 @@ should barely differ (Table 6: few multiple executions).
 
 from __future__ import annotations
 
+from typing import List
+
 from ..metrics.report import Report
 from ..uarch.config import BranchPolicy, PredictorKind, ReexecPolicy
 from ..workloads import all_workloads
 from .configs import BASE, IR_EARLY, vp_lvp, vp_magic
-from .runner import ExperimentRunner
+from .runner import ExperimentRunner, Pair
+
+
+def pairs() -> List[Pair]:
+    configs = (BASE, IR_EARLY, vp_magic(ReexecPolicy.MULTIPLE),
+               vp_magic(ReexecPolicy.SINGLE), vp_lvp(ReexecPolicy.MULTIPLE))
+    return [(name, config) for name in all_workloads()
+            for config in configs]
 
 
 def run(runner: ExperimentRunner) -> Report:
+    runner.prefetch(pairs())
     report = Report(
         title="Figure 5: resource contention normalised to base "
               "(0-cycle VP-verification)",

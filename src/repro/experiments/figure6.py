@@ -13,12 +13,27 @@ from ..metrics.stats import harmonic_mean, speedup
 from ..uarch.config import PredictorKind
 from ..workloads import all_workloads
 from .configs import BASE, IR_EARLY, short_vp_name, vp_matrix
-from .runner import ExperimentRunner
+from .runner import ExperimentRunner, Pair
+
+
+def pairs_for(verify_latency: int = 0,
+              kind: PredictorKind = PredictorKind.MAGIC,
+              include_ir: bool = True) -> List[Pair]:
+    configs = [BASE] + vp_matrix(kind, verify_latency)
+    if include_ir:
+        configs.append(IR_EARLY)
+    return [(name, config) for name in all_workloads()
+            for config in configs]
+
+
+def pairs() -> List[Pair]:
+    return pairs_for(0) + pairs_for(1)
 
 
 def run(runner: ExperimentRunner, verify_latency: int = 0,
         kind: PredictorKind = PredictorKind.MAGIC,
         include_ir: bool = True) -> Report:
+    runner.prefetch(pairs_for(verify_latency, kind, include_ir))
     part = "a" if verify_latency == 0 else "b"
     configs = vp_matrix(kind, verify_latency)
     kind_label = "VP_Magic" if kind == PredictorKind.MAGIC else "VP_LVP"
@@ -48,4 +63,5 @@ def run(runner: ExperimentRunner, verify_latency: int = 0,
 
 
 def run_both(runner: ExperimentRunner) -> List[Report]:
+    runner.prefetch(pairs())
     return [run(runner, 0), run(runner, 1)]

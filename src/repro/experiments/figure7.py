@@ -13,8 +13,14 @@ from typing import List
 
 from ..metrics.report import Report
 from ..uarch.config import PredictorKind
-from .runner import ExperimentRunner
+from .runner import ExperimentRunner, Pair
 from . import figure6
+
+
+def pairs() -> List[Pair]:
+    return (figure6.pairs_for(0, PredictorKind.LAST_VALUE, include_ir=False)
+            + figure6.pairs_for(1, PredictorKind.LAST_VALUE,
+                                include_ir=False))
 
 
 def run(runner: ExperimentRunner, verify_latency: int = 0) -> "Report":
@@ -23,4 +29,5 @@ def run(runner: ExperimentRunner, verify_latency: int = 0) -> "Report":
 
 
 def run_both(runner: ExperimentRunner) -> List["Report"]:
+    runner.prefetch(pairs())
     return [run(runner, 0), run(runner, 1)]

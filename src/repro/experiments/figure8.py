@@ -12,6 +12,12 @@ from ..workloads import all_workloads
 from .runner import ExperimentRunner
 
 
+def pairs() -> list:
+    """Limit studies use only the functional simulator: no timing pairs
+    to prefetch (kept for CLI sweep uniformity)."""
+    return []
+
+
 def run(runner: ExperimentRunner) -> Report:
     report = Report(
         title="Figure 8: classification of instruction results "

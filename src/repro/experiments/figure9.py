@@ -13,6 +13,12 @@ from ..workloads import all_workloads
 from .runner import ExperimentRunner
 
 
+def pairs() -> list:
+    """Limit studies use only the functional simulator: no timing pairs
+    to prefetch (kept for CLI sweep uniformity)."""
+    return []
+
+
 def run(runner: ExperimentRunner, producer_distance: int = 50) -> Report:
     report = Report(
         title=f"Figure 9: readiness of repeated instructions' inputs "

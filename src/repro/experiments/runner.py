@@ -1,4 +1,4 @@
-"""Shared experiment driver with on-disk result caching.
+"""Shared experiment driver with on-disk result caching and parallel fan-out.
 
 Every table/figure experiment needs timing-simulation results for some
 (workload x configuration) pairs; many pairs are shared between
@@ -8,6 +8,24 @@ experiments (e.g. the base run is the denominator of every speedup).
 size and a hash of the workload source — so editing a workload
 invalidates its cached results automatically.
 
+Pairs are independent simulations, so :meth:`ExperimentRunner.run_many`
+fans the uncached ones out over a ``multiprocessing`` pool (``jobs=1``
+keeps the strictly serial path).  Parallelism is only acceptable under
+the repository's **determinism contract**: a simulation's result — and
+the cached JSON bytes — must be identical no matter which process ran it
+or in what order.  Three mechanisms uphold the contract:
+
+* simulations share no state: each worker rebuilds its program from the
+  workload registry and runs a private core;
+* cache files are written canonically (sorted keys) and atomically
+  (tempfile + ``os.replace``), so a cache produced by a ``jobs=8`` sweep
+  is byte-identical to a serial one;
+* a per-key :class:`~repro.experiments.locking.FileLock` makes
+  concurrent workers (or concurrent CLI invocations) cooperate instead
+  of double-running or corrupting an entry.
+
+``tests/experiments/test_parallel.py`` asserts all of this.
+
 Window sizes default to a laptop-scale budget (the paper simulates 200M
 cycles per run on SimpleScalar; a pure-Python model is ~10^4x slower, so
 the defaults reproduce shapes rather than absolute magnitudes — see
@@ -16,50 +34,160 @@ DESIGN.md section 2).
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
+import multiprocessing
+import os
+import tempfile
+import time
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..functional.simulator import FunctionalSimulator
 from ..metrics.stats import SimStats
 from ..redundancy.reusability import ReusabilityAnalyzer
 from ..uarch.config import MachineConfig
-from ..uarch.core import OutOfOrderCore
 from ..workloads import WorkloadSpec, all_workloads, get_workload
+from .locking import FileLock
 
-CACHE_VERSION = 2
+CACHE_VERSION = 3
 
 DEFAULT_INSTRUCTIONS = 20_000
 DEFAULT_MAX_CYCLES = 600_000
 
+#: A unit of simulation work: (workload name, machine configuration).
+Pair = Tuple[str, MachineConfig]
+
+
+def default_jobs() -> int:
+    """Default degree of parallelism: every core the machine has."""
+    return os.cpu_count() or 1
+
 
 class ExperimentRunner:
-    """Runs (workload x config) timing simulations with JSON caching."""
+    """Runs (workload x config) timing simulations with JSON caching.
+
+    ``jobs`` sets the default pool size for :meth:`run_many` /
+    :meth:`run_workloads`; ``None`` means "all cores".  ``jobs=1`` never
+    spawns a pool.
+    """
 
     def __init__(self,
                  max_instructions: int = DEFAULT_INSTRUCTIONS,
                  max_cycles: int = DEFAULT_MAX_CYCLES,
                  cache_dir: Optional[Path] = None,
                  verify: bool = False,
-                 quiet: bool = False):
+                 quiet: bool = False,
+                 jobs: Optional[int] = None,
+                 mp_start_method: Optional[str] = None):
         self.max_instructions = max_instructions
         self.max_cycles = max_cycles
         self.cache_dir = Path(cache_dir) if cache_dir else None
         self.verify = verify
         self.quiet = quiet
+        self.jobs = jobs
+        self.mp_start_method = mp_start_method
         self._memory_cache: Dict[str, SimStats] = {}
 
     # -- timing runs ------------------------------------------------------------
 
     def run(self, workload: str, config: MachineConfig) -> SimStats:
-        """Simulate *workload* under *config* (cached)."""
+        """Simulate *workload* under *config* (cached, lock-protected)."""
         spec = get_workload(workload)
         key = self._key(spec, config)
         cached = self._load(key)
         if cached is not None:
             return cached
+        with self._lock(key):
+            # Another process may have produced the entry while we waited.
+            cached = self._load(key)
+            if cached is not None:
+                return cached
+            stats = self._simulate(spec, workload, config)
+            self._store(key, stats)
+        return stats
+
+    def run_many(self, pairs: Iterable[Pair],
+                 jobs: Optional[int] = None
+                 ) -> Dict[Tuple[str, str], SimStats]:
+        """Run every (workload, config) pair, fanning uncached ones out.
+
+        Returns ``{(workload, config.name): SimStats}`` for every input
+        pair.  Duplicates are deduplicated by cache key; already-cached
+        pairs never reach the pool.  With ``jobs=1`` (or one pending
+        pair) this is exactly the serial path.
+        """
+        pairs = list(pairs)
+        jobs = self._effective_jobs(jobs)
+        unique: Dict[str, Pair] = {}
+        for workload, config in pairs:
+            key = self._key(get_workload(workload), config)
+            unique.setdefault(key, (workload, config))
+
+        results: Dict[Tuple[str, str], SimStats] = {}
+        pending: List[Tuple[str, str, MachineConfig]] = []
+        for key, (workload, config) in unique.items():
+            cached = self._load(key)
+            if cached is not None:
+                results[(workload, config.name)] = cached
+            else:
+                pending.append((key, workload, config))
+
+        if len(pending) <= 1 or jobs <= 1:
+            for _, workload, config in pending:
+                results[(workload, config.name)] = self.run(workload, config)
+            return results
+
+        ctx = multiprocessing.get_context(self.mp_start_method)
+        settings = {
+            "max_instructions": self.max_instructions,
+            "max_cycles": self.max_cycles,
+            "cache_dir": self.cache_dir,
+            "verify": self.verify,
+            "quiet": True,  # children are silent; the parent narrates
+            "jobs": 1,
+        }
+        total, done = len(pending), 0
+        started = time.perf_counter()
+        with ctx.Pool(processes=min(jobs, total),
+                      initializer=_worker_init,
+                      initargs=(settings,)) as pool:
+            tasks = [(workload, config) for _, workload, config in pending]
+            for workload, cname, payload, elapsed in \
+                    pool.imap_unordered(_worker_run, tasks):
+                done += 1
+                stats = SimStats.from_dict(payload)
+                results[(workload, cname)] = stats
+                if not self.quiet:
+                    print(f"[run {done}/{total}] {workload} / {cname} "
+                          f"({stats.committed} insts, {elapsed:.1f}s)",
+                          flush=True)
+        if not self.quiet:
+            print(f"[run] {total} simulations on {min(jobs, total)} workers "
+                  f"in {time.perf_counter() - started:.1f}s", flush=True)
+        # Adopt the children's results into this process's memory cache.
+        for key, workload, config in pending:
+            self._memory_cache[key] = results[(workload, config.name)]
+        return results
+
+    def run_workloads(self, config: MachineConfig,
+                      workloads: Optional[Iterable[str]] = None,
+                      jobs: Optional[int] = None) -> Dict[str, SimStats]:
+        names = list(workloads) if workloads else list(all_workloads())
+        results = self.run_many([(name, config) for name in names],
+                                jobs=jobs)
+        return {name: results[(name, config.name)] for name in names}
+
+    def prefetch(self, pairs: Iterable[Pair],
+                 jobs: Optional[int] = None) -> None:
+        """Warm the cache for *pairs*; later :meth:`run` calls are hits."""
+        self.run_many(pairs, jobs=jobs)
+
+    def _simulate(self, spec: WorkloadSpec, workload: str,
+                  config: MachineConfig) -> SimStats:
+        from ..uarch.core import OutOfOrderCore
         if not self.quiet:
             print(f"[run] {workload} / {config.name} "
                   f"({self.max_instructions} insts)", flush=True)
@@ -70,14 +198,14 @@ class ExperimentRunner:
         stats = core.run(max_cycles=self.max_cycles,
                          max_instructions=self.max_instructions)
         stats.workload_name = workload
-        self._store(key, stats)
         return stats
 
-    def run_workloads(self, config: MachineConfig,
-                      workloads: Optional[Iterable[str]] = None
-                      ) -> Dict[str, SimStats]:
-        names = list(workloads) if workloads else list(all_workloads())
-        return {name: self.run(name, config) for name in names}
+    def _effective_jobs(self, jobs: Optional[int]) -> int:
+        if jobs is None:
+            jobs = self.jobs
+        if jobs is None:
+            jobs = default_jobs()
+        return max(1, int(jobs))
 
     # -- limit-study runs ---------------------------------------------------------
 
@@ -102,24 +230,76 @@ class ExperimentRunner:
         return (f"v{CACHE_VERSION}-{spec.name}-{config.name}"
                 f"-i{self.max_instructions}-c{self.max_cycles}-{source_hash}")
 
+    def _lock(self, key: str):
+        if self.cache_dir is None:
+            return contextlib.nullcontext()
+        return FileLock(self.cache_dir / f"{key}.lock")
+
     def _load(self, key: str) -> Optional[SimStats]:
         if key in self._memory_cache:
             return self._memory_cache[key]
         if self.cache_dir is None:
             return None
         path = self.cache_dir / f"{key}.json"
-        if not path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
             return None
-        stats = SimStats.from_dict(json.loads(path.read_text()))
+        except (OSError, UnicodeDecodeError, ValueError):
+            # Truncated/corrupt cache entry (e.g. a crash mid-write before
+            # stores became atomic, or disk trouble): re-simulate.
+            if not self.quiet:
+                print(f"[cache] discarding malformed entry {path.name}",
+                      flush=True)
+            return None
+        if not isinstance(payload, dict):
+            if not self.quiet:
+                print(f"[cache] discarding malformed entry {path.name}",
+                      flush=True)
+            return None
+        stats = SimStats.from_dict(payload)
         self._memory_cache[key] = stats
         return stats
 
     def _store(self, key: str, stats: SimStats) -> None:
         self._memory_cache[key] = stats
-        if self.cache_dir is not None:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
-            path = self.cache_dir / f"{key}.json"
-            path.write_text(json.dumps(stats.as_dict(), indent=1))
+        if self.cache_dir is None:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self.cache_dir / f"{key}.json"
+        # Canonical bytes (sorted keys) + atomic replace: a parallel sweep
+        # leaves a cache byte-identical to a serial one, and a reader can
+        # never observe a partial file.
+        fd, tmp_name = tempfile.mkstemp(dir=str(self.cache_dir),
+                                        prefix=f".{key}.", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(stats.canonical_json())
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+
+
+# -- pool plumbing ----------------------------------------------------------------
+# The worker runner is a module global so it survives across tasks in one
+# worker process (keeping its memory cache warm) under every start method.
+
+_WORKER_RUNNER: Optional[ExperimentRunner] = None
+
+
+def _worker_init(settings: Dict) -> None:
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = ExperimentRunner(**settings)
+
+
+def _worker_run(pair: Pair) -> Tuple[str, str, Dict, float]:
+    workload, config = pair
+    started = time.perf_counter()
+    stats = _WORKER_RUNNER.run(workload, config)
+    return workload, config.name, stats.as_dict(), \
+        time.perf_counter() - started
 
 
 def default_runner(**overrides) -> ExperimentRunner:

@@ -22,6 +22,12 @@ from .runner import ExperimentRunner
 DEFAULT_WINDOWS = (5_000, 10_000, 20_000)
 
 
+def pairs() -> list:
+    """Window-sensitivity pairs live under per-window cache keys, so the
+    sized runners inside :func:`run` prefetch them; nothing global."""
+    return []
+
+
 def run(runner: ExperimentRunner,
         windows: Iterable[int] = DEFAULT_WINDOWS,
         workloads: Iterable[str] | None = None) -> Report:
@@ -35,15 +41,23 @@ def run(runner: ExperimentRunner,
                 + [f"IR @{w // 1000}k" for w in windows]
                 + ["max drift"],
     )
+    sized_runners = {}
+    for window in windows:
+        sized = ExperimentRunner(
+            max_instructions=window,
+            max_cycles=runner.max_cycles,
+            cache_dir=runner.cache_dir,
+            quiet=runner.quiet,
+            jobs=runner.jobs,
+            mp_start_method=runner.mp_start_method)
+        sized.prefetch([(name, config) for name in names
+                        for config in (BASE, vp_magic(), IR_EARLY)])
+        sized_runners[window] = sized
     for name in names:
         vp_cells: List[float] = []
         ir_cells: List[float] = []
         for window in windows:
-            sized = ExperimentRunner(
-                max_instructions=window,
-                max_cycles=runner.max_cycles,
-                cache_dir=runner.cache_dir,
-                quiet=runner.quiet)
+            sized = sized_runners[window]
             base = sized.run(name, BASE)
             vp_cells.append(speedup(sized.run(name, vp_magic()), base))
             ir_cells.append(speedup(sized.run(name, IR_EARLY), base))

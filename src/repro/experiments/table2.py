@@ -2,13 +2,20 @@
 
 from __future__ import annotations
 
+from typing import List
+
 from ..metrics.report import Report
 from ..workloads import all_workloads
 from .configs import BASE
-from .runner import ExperimentRunner
+from .runner import ExperimentRunner, Pair
+
+
+def pairs() -> List[Pair]:
+    return [(name, BASE) for name in all_workloads()]
 
 
 def run(runner: ExperimentRunner) -> Report:
+    runner.prefetch(pairs())
     report = Report(
         title="Table 2: benchmarks, committed instructions, branch and "
               "return prediction rates",

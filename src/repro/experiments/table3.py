@@ -2,13 +2,21 @@
 
 from __future__ import annotations
 
+from typing import List
+
 from ..metrics.report import Report
 from ..workloads import all_workloads
 from .configs import IR_EARLY, vp_lvp, vp_magic
-from .runner import ExperimentRunner
+from .runner import ExperimentRunner, Pair
+
+
+def pairs() -> List[Pair]:
+    return [(name, config) for name in all_workloads()
+            for config in (IR_EARLY, vp_magic(), vp_lvp())]
 
 
 def run(runner: ExperimentRunner) -> Report:
+    runner.prefetch(pairs())
     report = Report(
         title="Table 3: percentage IR and VP rates "
               "(result % over dynamic insts, address % over memory ops)",

@@ -6,12 +6,14 @@ non-speculative operands, so the squash count is unaffected (Sec 4.2.2).
 
 from __future__ import annotations
 
+from typing import List
+
 from ..metrics.stats import SimStats
 from ..metrics.report import Report
 from ..uarch.config import BranchPolicy, ReexecPolicy
 from ..workloads import all_workloads
 from .configs import BASE, vp_lvp, vp_magic
-from .runner import ExperimentRunner
+from .runner import ExperimentRunner, Pair
 
 
 def _increase(stats: SimStats, base: SimStats) -> float:
@@ -21,7 +23,16 @@ def _increase(stats: SimStats, base: SimStats) -> float:
     return 100.0 * delta / base.branch_squashes
 
 
+def pairs() -> List[Pair]:
+    configs = (BASE, vp_magic(ReexecPolicy.MULTIPLE),
+               vp_magic(ReexecPolicy.SINGLE),
+               vp_lvp(ReexecPolicy.MULTIPLE), vp_lvp(ReexecPolicy.SINGLE))
+    return [(name, config) for name in all_workloads()
+            for config in configs]
+
+
 def run(runner: ExperimentRunner) -> Report:
+    runner.prefetch(pairs())
     report = Report(
         title="Table 4: % increase in branch squashes due to value "
               "misprediction (SB configurations)",

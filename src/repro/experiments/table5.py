@@ -2,13 +2,20 @@
 
 from __future__ import annotations
 
+from typing import List
+
 from ..metrics.report import Report
 from ..workloads import all_workloads
 from .configs import IR_EARLY
-from .runner import ExperimentRunner
+from .runner import ExperimentRunner, Pair
+
+
+def pairs() -> List[Pair]:
+    return [(name, IR_EARLY) for name in all_workloads()]
 
 
 def run(runner: ExperimentRunner) -> Report:
+    runner.prefetch(pairs())
     report = Report(
         title="Table 5: executed instructions squashed by branch "
               "mispredictions, and % recovered through the reuse buffer",

@@ -215,11 +215,12 @@ class Assembler:
         elif directive == ".byte":
             for operand in stmt.operands:
                 put(self._value(operand, symbols, stmt), 1)
-        elif directive == ".space":
-            for _ in range(_parse_int(stmt.operands[0])):
-                put(0, 1)
-        elif directive == ".align":
-            pass  # only affects layout, done in pass one
+        elif directive in (".space", ".align"):
+            # Layout-only (done in pass one): reserved bytes are not
+            # materialised — untouched memory already reads as zero, and
+            # keeping the data image sparse lets a disassembled program
+            # round-trip .space through the assembler as a fixpoint.
+            pass
         elif directive in (".ascii", ".asciiz"):
             text = _parse_string(stmt.operands[0], stmt)
             for char in text.encode("latin-1"):

@@ -59,6 +59,88 @@ def disassemble(program: Program, with_data: bool = True) -> str:
     return "\n".join(lines)
 
 
+def disassemble_source(program: Program) -> str:
+    """Render *program* as **reassemblable** source text.
+
+    Unlike :func:`disassemble` (a human listing with addresses and a
+    data summary), the output here is valid assembler input that
+    reproduces the program exactly: feeding it back through
+    :func:`~repro.isa.assembler.assemble` yields identical instructions,
+    identical initial data bytes and identical label addresses.  The
+    round-trip is a fixpoint — ``disassemble_source(assemble(text)) ==
+    text`` — which ``tests/isa/test_roundtrip.py`` asserts for every
+    workload.
+
+    Layout reconstruction: data statements are emitted in address order
+    from the data base, with ``.space`` directives covering any gaps, so
+    every label lands back on its original address.  Branch and jump
+    targets are emitted as absolute addresses (the assembler accepts
+    numeric targets), so the text section needs no label fidelity to
+    round-trip — labels are still emitted for readability.
+    """
+    labels = _label_map(program)
+    lines: List[str] = []
+    data_lines = _data_source_lines(program, labels)
+    if data_lines:
+        lines.append(".data")
+        lines.extend(data_lines)
+    lines.append(".text")
+    for inst in program.instruction_list():
+        name = labels.get(inst.pc)
+        if name:
+            lines.append(f"{name}:")
+        lines.append("    " + format_instruction(inst))
+    return "\n".join(lines) + "\n"
+
+
+def _data_source_lines(program: Program,
+                       labels: Dict[int, str],
+                       bytes_per_line: int = 12) -> List[str]:
+    """``.byte``/``.space`` directives reproducing the data image."""
+    if not program.data:
+        return []
+    from .program import DATA_BASE
+    addresses = sorted(program.data)
+    # Labels must be emitted at their exact address, so runs split there.
+    boundaries = {addr for addr in labels if addr >= DATA_BASE}
+    lines: List[str] = []
+    cursor = DATA_BASE
+
+    def emit_gap(until: int) -> None:
+        nonlocal cursor
+        if until > cursor:
+            lines.append(f"    .space {until - cursor}")
+            cursor = until
+
+    index = 0
+    while index < len(addresses):
+        start = addresses[index]
+        if start in labels and start >= DATA_BASE:
+            emit_gap(start)
+            lines.append(f"{labels[start]}:")
+        else:
+            emit_gap(start)
+        run = [program.data[start]]
+        index += 1
+        while (index < len(addresses)
+               and addresses[index] == start + len(run)
+               and addresses[index] not in boundaries):
+            run.append(program.data[addresses[index]])
+            index += 1
+        for offset in range(0, len(run), bytes_per_line):
+            chunk = run[offset:offset + bytes_per_line]
+            lines.append("    .byte " + ", ".join(str(b) for b in chunk))
+        cursor = start + len(run)
+    # Labels past the last initialised byte (e.g. a trailing .space).
+    for addr in sorted(boundaries):
+        if addr > cursor:
+            emit_gap(addr)
+            lines.append(f"{labels[addr]}:")
+        elif addr == cursor:
+            lines.append(f"{labels[addr]}:")
+    return lines
+
+
 def instruction_histogram(program: Program) -> Dict[str, int]:
     """Static opcode mix of *program* (diagnostics for workload tuning)."""
     histogram: Dict[str, int] = {}

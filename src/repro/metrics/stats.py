@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 
 @dataclass
@@ -152,6 +153,31 @@ class SimStats:
                 simple[name] = value
         simple["exec_count_histogram"] = dict(self.exec_count_histogram)
         return simple
+
+    def canonical_json(self) -> str:
+        """Deterministic serialization: sorted keys, fixed layout.
+
+        This is the byte format of the on-disk result cache, and the
+        foundation of the determinism contract: two runs of the same
+        (workload, config) pair — serial or parallel, in any process —
+        must produce byte-identical output.  ``sort_keys`` removes the
+        last source of byte-level variation (dict insertion order).
+        """
+        return json.dumps(self.as_dict(), indent=1, sort_keys=True)
+
+    def diff(self, other: "SimStats") -> Dict[str, Tuple]:
+        """Field-by-field comparison: ``{field: (self, other)}`` for every
+        counter that differs.  Empty dict means the runs were identical —
+        the assertion helper for determinism and differential tests."""
+        mine, theirs = self.as_dict(), other.as_dict()
+        return {name: (mine.get(name), theirs.get(name))
+                for name in sorted(set(mine) | set(theirs))
+                if mine.get(name) != theirs.get(name)}
+
+    def same_counters(self, other: "SimStats") -> bool:
+        """True when every serialized counter matches (dataclass ``==``
+        also works, but this mirrors exactly what the cache persists)."""
+        return not self.diff(other)
 
     @classmethod
     def from_dict(cls, data: Dict) -> "SimStats":

@@ -1,0 +1,129 @@
+"""Property-style round-trip: assemble -> disassemble -> reassemble.
+
+``disassemble_source`` renders a :class:`Program` as reassemblable
+text.  The property: reassembling that text reproduces the program
+exactly (instructions, data image, label addresses, entry point), and a
+second disassembly is byte-identical to the first — a fixpoint.  Run
+over every workload analog (both input variants), the random-program
+generator, and hand-written corner cases.
+"""
+
+import pytest
+
+from repro.isa import assemble
+from repro.isa.disassembler import disassemble_source
+from repro.workloads import all_workloads, get_workload, workload_names
+from repro.workloads.random_program import random_program
+
+
+def assert_roundtrip(program):
+    text = disassemble_source(program)
+    reassembled = assemble(text)
+
+    assert reassembled.num_instructions == program.num_instructions
+    for first, second in zip(program.instruction_list(),
+                             reassembled.instruction_list()):
+        assert first.pc == second.pc
+        assert first.opcode.name == second.opcode.name
+        assert (first.rd, first.rs, first.rt) \
+            == (second.rd, second.rs, second.rt)
+        assert first.imm == second.imm
+        assert first.target == second.target
+    assert reassembled.data == program.data
+    assert reassembled.entry_point == program.entry_point
+
+    assert disassemble_source(reassembled) == text, "not a fixpoint"
+    return reassembled
+
+
+class TestWorkloadRoundTrip:
+    @pytest.mark.parametrize("name", workload_names())
+    def test_ref_variant(self, name):
+        assert_roundtrip(get_workload(name).program())
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_train_variant(self, name):
+        spec = get_workload(name)
+        if "train" not in spec.variants:
+            pytest.skip(f"{name} has no train input")
+        assert_roundtrip(spec.program("train"))
+
+    def test_roundtripped_workload_simulates_identically(self):
+        """The reassembled program is behaviorally the same program."""
+        from repro.functional import FunctionalSimulator
+        program = get_workload("compress").program()
+        clone = assemble(disassemble_source(program))
+        sim_a, sim_b = FunctionalSimulator(program), \
+            FunctionalSimulator(clone)
+        sim_a.run(max_instructions=5_000)
+        sim_b.run(max_instructions=5_000)
+        assert sim_a.state.regs == sim_b.state.regs
+        assert sim_a.instructions_retired == sim_b.instructions_retired
+
+
+class TestGeneratedRoundTrip:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_programs(self, seed):
+        assert_roundtrip(assemble(random_program(seed, size=60)))
+
+
+class TestCornerCases:
+    def test_sparse_data_with_space_gaps(self):
+        assert_roundtrip(assemble("""
+        .data
+        a: .byte 1, 2, 3
+        gap: .space 37
+        b: .word 0xdeadbeef, 7
+        tail: .space 5
+        .text
+        main: la $t0, b
+              lw $t1, 0($t0)
+              halt
+        """))
+
+    def test_adjacent_data_labels_keep_addresses(self):
+        program = assert_roundtrip(assemble("""
+        .data
+        x: .word 1
+        y: .word 2
+        z: .byte 3
+        .text
+        main: halt
+        """))
+        assert program.symbols["y"] == program.symbols["x"] + 4
+        assert program.symbols["z"] == program.symbols["y"] + 4
+
+    def test_strings_and_alignment(self):
+        assert_roundtrip(assemble("""
+        .data
+        msg: .asciiz "hello, world"
+        .align 2
+        val: .word 99
+        .text
+        main: la $a0, msg
+              lw $t0, val($zero)
+              halt
+        """))
+
+    def test_text_only_program(self):
+        assert_roundtrip(assemble("""
+        main: li $t0, 3
+        loop: addi $t0, $t0, -1
+              bnez $t0, loop
+              halt
+        """))
+
+    def test_control_flow_targets_survive(self):
+        program = assemble("""
+        main:  jal helper
+               beq $v0, $zero, done
+               j main
+        done:  halt
+        helper: ori $v0, $zero, 1
+               jr $ra
+        """)
+        clone = assert_roundtrip(program)
+        for first, second in zip(program.instruction_list(),
+                                 clone.instruction_list()):
+            if first.opcode.is_control and not first.opcode.is_indirect:
+                assert first.target == second.target

@@ -1,0 +1,75 @@
+"""Differential test over the real workloads: timing core vs functional.
+
+``tests/uarch/test_differential.py`` covers hand-written kernels and
+random programs; this file runs the *actual benchmark analogs* — the
+programs every paper table and figure is computed from — for a few
+thousand committed instructions under ``verify_commits=True`` and checks
+the committed architectural state against an independent
+:class:`FunctionalSimulator` instance:
+
+* ``verify_commits`` makes the core cross-check every committed
+  instruction's writes and PC against its internal oracle in lockstep
+  (a divergence raises ``SimulationError``);
+* on top of that, this test replays the committed write stream into a
+  private register file / store log and compares both against a
+  functional simulator that never interacted with the core.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.functional import FunctionalSimulator
+from repro.isa import NUM_REGS
+from repro.uarch.config import PredictorKind, base_config, ir_config, \
+    vp_config
+from repro.uarch.core import OutOfOrderCore
+from repro.workloads import get_workload, workload_names
+
+WINDOW = 2_500  # committed instructions per (workload, config) run
+MAX_CYCLES = 200_000
+
+CONFIGS = [base_config(), ir_config(), vp_config(PredictorKind.MAGIC)]
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+@pytest.mark.parametrize("workload", workload_names())
+def test_committed_state_matches_functional(workload, config):
+    spec = get_workload(workload)
+    config = dataclasses.replace(config, verify_commits=True)
+
+    core = OutOfOrderCore(config, spec.program())
+    core.skip(spec.skip_instructions)
+
+    # Reconstruct architectural state purely from the commit stream.
+    regs = list(core.spec.regs)
+    stores = {}
+
+    def on_commit(op, cycle):
+        for reg, value in op.outcome.writes:
+            regs[reg] = value
+        if op.inst.opcode.is_store:
+            stores[op.outcome.mem_addr] = op.outcome.mem_value
+
+    core.on_commit = on_commit
+    stats = core.run(max_cycles=MAX_CYCLES, max_instructions=WINDOW)
+    assert stats.committed >= WINDOW, (
+        f"{workload}/{config.name} committed only {stats.committed} "
+        f"instructions in {MAX_CYCLES} cycles")
+
+    reference = FunctionalSimulator(spec.program())
+    reference.skip(spec.skip_instructions)
+    ref_stores = {}
+    for outcome in reference.stream(stats.committed):
+        if outcome.inst.opcode.is_store:
+            ref_stores[outcome.mem_addr] = outcome.mem_value
+
+    assert reference.instructions_retired \
+        == spec.skip_instructions + stats.committed
+
+    for reg in range(NUM_REGS):
+        assert regs[reg] == reference.state.regs[reg], (
+            f"{workload}/{config.name}: register {reg} diverged after "
+            f"{stats.committed} committed instructions")
+    assert stores == ref_stores, (
+        f"{workload}/{config.name}: committed store stream diverged")
