@@ -73,6 +73,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--verify", action="store_true",
                         help="verify every commit against the functional "
                              "simulator")
+    parser.add_argument("--profile", action="store_true",
+                        help="print per-phase wallclock profile and "
+                             "event-queue counters after each run")
     return parser
 
 
@@ -114,6 +117,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.trace:
             tracer = PipelineTracer(core, limit=args.trace,
                                     start_cycle=200)
+        profile = core.enable_profiling() if args.profile else None
         core.skip(skip)
         stats = core.run(max_cycles=args.max_cycles,
                          max_instructions=args.instructions)
@@ -130,6 +134,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if tracer is not None:
             extras.append(f"Pipeline trace: {config.name}\n"
                           + tracer.render())
+        if profile is not None:
+            extras.append(f"Profile: {config.name}\n" + profile.report())
     for extra in extras:
         print()
         print(extra.render() if hasattr(extra, "render") else extra)

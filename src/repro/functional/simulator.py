@@ -13,7 +13,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Optional, Tuple
 
-from ..isa.instruction import Instruction
+from ..isa.instruction import (
+    Instruction,
+    KIND_BRANCH,
+    KIND_HILO,
+    KIND_JUMP,
+    KIND_LOAD,
+    KIND_NOP,
+    KIND_STORE,
+)
 from ..isa.opcodes import (
     NUM_REGS,
     REG_RA,
@@ -31,24 +39,35 @@ class SimulationError(Exception):
     """Raised when execution leaves the program (bad PC) or misbehaves."""
 
 
-@dataclass
 class ExecOutcome:
     """Everything one dynamic instruction did: the unit of observation.
 
     The redundancy limit study, the reuse buffer, the value predictor and
-    the commit-time verifier all consume these records.
+    the commit-time verifier all consume these records.  One is created
+    per dispatched instruction (wrong paths included), so this is a
+    ``__slots__`` class rather than a dataclass.
     """
 
-    inst: Instruction
-    operand_a: int
-    operand_b: int
-    next_pc: int
-    result: Optional[int] = None  # dest value (LO for mult/div, load data)
-    result_hi: Optional[int] = None  # HI for mult/div
-    writes: Tuple[Tuple[int, int], ...] = ()
-    mem_addr: Optional[int] = None
-    mem_value: Optional[int] = None
-    taken: Optional[bool] = None
+    __slots__ = ("inst", "operand_a", "operand_b", "next_pc", "result",
+                 "result_hi", "writes", "mem_addr", "mem_value", "taken")
+
+    def __init__(self, inst: Instruction, operand_a: int, operand_b: int,
+                 next_pc: int, result: Optional[int] = None,
+                 result_hi: Optional[int] = None,
+                 writes: Tuple[Tuple[int, int], ...] = (),
+                 mem_addr: Optional[int] = None,
+                 mem_value: Optional[int] = None,
+                 taken: Optional[bool] = None):
+        self.inst = inst
+        self.operand_a = operand_a
+        self.operand_b = operand_b
+        self.next_pc = next_pc
+        self.result = result  # dest value (LO for mult/div, load data)
+        self.result_hi = result_hi  # HI for mult/div
+        self.writes = writes
+        self.mem_addr = mem_addr
+        self.mem_value = mem_value
+        self.taken = taken
 
     @property
     def pc(self) -> int:
@@ -65,47 +84,65 @@ class StateProtocol:
 
 
 def execute(inst: Instruction, state) -> ExecOutcome:
-    """Apply *inst* to *state* and return the full outcome record."""
-    op = inst.opcode
-    a, b = inst.operand_values(state.read_reg)
-    writes: List[Tuple[int, int]] = []
-    outcome = ExecOutcome(inst, a, b, inst.next_pc)
+    """Apply *inst* to *state* and return the full outcome record.
 
-    if op.op_class.name == "NOP":
-        pass  # nop and halt produce nothing; halt is handled by the caller
-    elif op.is_branch:
-        outcome.taken = bool(op.eval_fn(a, b, inst.imm))
-        if outcome.taken:
+    Dispatches on the ``exec_kind`` code decoded once per static
+    instruction; every dynamic instance skips the opcode-flag re-tests.
+    """
+    op = inst.opcode
+    b_reg = inst.b_reg
+    try:  # both built-in states expose the register list directly
+        regs = state.regs
+    except AttributeError:  # duck-typed state (StateProtocol)
+        read_reg = state.read_reg
+        a = read_reg(inst.a_reg)
+        b = read_reg(b_reg) if b_reg >= 0 else 0
+    else:
+        a = regs[inst.a_reg]
+        b = regs[b_reg] if b_reg >= 0 else 0
+    outcome = ExecOutcome(inst, a, b, inst.next_pc)
+    kind = inst.exec_kind
+
+    if kind == KIND_BRANCH:
+        outcome.taken = taken = bool(op.eval_fn(a, b, inst.imm))
+        if taken:
             outcome.next_pc = inst.target
-    elif op.is_jump:
+    elif kind == KIND_LOAD:
+        outcome.mem_addr = addr = u32(a + inst.imm)
+        outcome.result = result = state.read_mem(addr, op.mem_bytes,
+                                                 op.mem_signed)
+        outcome.mem_value = result
+        rd = inst.rd
+        if rd != REG_ZERO:  # a load to $zero is legal and writes nothing
+            state.write_reg(rd, result)
+            outcome.writes = ((rd, result),)
+    elif kind == KIND_STORE:
+        outcome.mem_addr = addr = u32(a + inst.imm)
+        outcome.mem_value = u32(b)
+        state.write_mem(addr, b, op.mem_bytes)
+    elif kind == KIND_JUMP:
         outcome.next_pc = a if op.is_indirect else inst.target
         if op.is_call:
-            outcome.result = u32(inst.next_pc)
-            writes.append((REG_RA, outcome.result))
-    elif op.is_load:
-        outcome.mem_addr = u32(a + inst.imm)
-        outcome.result = state.read_mem(outcome.mem_addr, op.mem_bytes,
-                                        op.mem_signed)
-        outcome.mem_value = outcome.result
-        writes.append((inst.rd, outcome.result))
-    elif op.is_store:
-        outcome.mem_addr = u32(a + inst.imm)
-        outcome.mem_value = u32(b)
-        state.write_mem(outcome.mem_addr, b, op.mem_bytes)
-    elif op.writes_hi_lo:
+            outcome.result = result = u32(inst.next_pc)
+            state.write_reg(REG_RA, result)
+            outcome.writes = ((REG_RA, result),)
+    elif kind == KIND_HILO:
         pair = mult_hi_lo(a, b) if op.name == "mult" else div_hi_lo(a, b)
         outcome.result_hi, outcome.result = pair
-        writes.append((inst.dest_regs[0], outcome.result_hi))
-        writes.append((inst.dest_regs[1], outcome.result))
+        hi_reg, lo_reg = inst.dest_regs
+        state.write_reg(hi_reg, pair[0])
+        state.write_reg(lo_reg, pair[1])
+        outcome.writes = ((hi_reg, pair[0]), (lo_reg, pair[1]))
+    elif kind == KIND_NOP:
+        pass  # nop and halt produce nothing; halt is handled by the caller
     else:
-        outcome.result = u32(op.eval_fn(a, b, inst.imm))
-        if inst.dest_regs:
-            writes.append((inst.dest_regs[0], outcome.result))
-
-    for reg, value in writes:
-        if reg != REG_ZERO:
-            state.write_reg(reg, value)
-    outcome.writes = tuple((r, v) for r, v in writes if r != REG_ZERO)
+        outcome.result = result = u32(op.eval_fn(a, b, inst.imm))
+        dest_regs = inst.dest_regs
+        if dest_regs:  # dest_regs[0], not rd: FP compares write $fcc
+            rd = dest_regs[0]
+            if rd != REG_ZERO:
+                state.write_reg(rd, result)
+                outcome.writes = ((rd, result),)
     return outcome
 
 

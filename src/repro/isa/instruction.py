@@ -33,13 +33,27 @@ from .opcodes import (
 
 INSTRUCTION_BYTES = 4
 
+# Execution-kind codes decoded once per static instruction: the shared
+# ``execute`` path dispatches on one int instead of re-testing opcode
+# flags on every dynamic instance.
+KIND_ALU = 0
+KIND_NOP = 1
+KIND_BRANCH = 2
+KIND_JUMP = 3
+KIND_LOAD = 4
+KIND_STORE = 5
+KIND_HILO = 6
+
 
 @dataclass(frozen=True)
 class Instruction:
     """One decoded static instruction at a fixed program counter.
 
     ``src_regs`` and ``dest_regs`` are decoded once at construction (the
-    simulators consult them on every dynamic instance, so they are hot).
+    simulators consult them on every dynamic instance, so they are hot),
+    as are the evaluation-operand register numbers ``a_reg``/``b_reg``
+    (``b_reg < 0`` means the second operand reads as 0) and the
+    ``exec_kind`` dispatch code.
     """
 
     pc: int
@@ -51,10 +65,17 @@ class Instruction:
     target: int = 0
     src_regs: Tuple[int, ...] = ()
     dest_regs: Tuple[int, ...] = ()
+    a_reg: int = 0
+    b_reg: int = -1
+    exec_kind: int = KIND_ALU
 
     def __post_init__(self):
         object.__setattr__(self, "src_regs", self._decode_src_regs())
         object.__setattr__(self, "dest_regs", self._decode_dest_regs())
+        a_reg, b_reg = self._decode_operand_regs()
+        object.__setattr__(self, "a_reg", a_reg)
+        object.__setattr__(self, "b_reg", b_reg)
+        object.__setattr__(self, "exec_kind", self._decode_exec_kind())
 
     @property
     def next_pc(self) -> int:
@@ -96,6 +117,37 @@ class Instruction:
             return ()
         return (self.rd,) if self.rd != REG_ZERO else ()
 
+    def _decode_operand_regs(self) -> Tuple[int, int]:
+        """The registers feeding the ``(a, b)`` evaluation operands."""
+        op = self.opcode
+        if op.name == "mfhi":
+            return REG_HI, -1
+        if op.name == "mflo":
+            return REG_LO, -1
+        if op.fmt == Format.BRANCH0:
+            return REG_FCC, -1
+        if op.fmt in (Format.RRR, Format.RR, Format.BRANCH2):
+            return self.rs, self.rt
+        if op.is_store:
+            return self.rs, self.rd
+        return self.rs, -1
+
+    def _decode_exec_kind(self) -> int:
+        op = self.opcode
+        if op.op_class.name == "NOP":
+            return KIND_NOP
+        if op.is_branch:
+            return KIND_BRANCH
+        if op.is_jump:
+            return KIND_JUMP
+        if op.is_load:
+            return KIND_LOAD
+        if op.is_store:
+            return KIND_STORE
+        if op.writes_hi_lo:
+            return KIND_HILO
+        return KIND_ALU
+
     @property
     def is_return(self) -> bool:
         """``jr $ra`` is treated as a procedure return (drives the RAS)."""
@@ -111,19 +163,10 @@ class Instruction:
 
         ``a`` is the first source (rs / HI / LO), ``b`` the second (rt, or
         the store-data register for stores); absent operands read as 0.
+        The register numbers were decoded once at construction.
         """
-        srcs = self.src_regs
-        op = self.opcode
-        if op.name in ("mfhi", "mflo"):
-            return read_reg(srcs[0]), 0
-        if op.fmt == Format.BRANCH0:
-            return read_reg(REG_FCC), 0
-        a = read_reg(self.rs)
-        if op.fmt in (Format.RRR, Format.RR, Format.BRANCH2):
-            return a, read_reg(self.rt)
-        if op.is_store:
-            return a, read_reg(self.rd)
-        return a, 0
+        b_reg = self.b_reg
+        return read_reg(self.a_reg), (read_reg(b_reg) if b_reg >= 0 else 0)
 
     def __str__(self) -> str:
         return f"{self.pc:#x}: {format_instruction(self)}"

@@ -1,0 +1,79 @@
+"""Per-phase wallclock profiling for the timing core (opt-in).
+
+The profile lives outside :class:`~repro.metrics.stats.SimStats` on
+purpose: ``SimStats.canonical_json`` is the golden-corpus regression
+surface and must stay byte-identical across performance work, while
+wallclock numbers differ on every run.  Attach a profile with
+``core.enable_profiling()`` (or ``repro-sim --profile``) and the core
+switches to an instrumented step that times each pipeline phase and
+counts the event-queue / fast-forward activity.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+# Pipeline phases in the order `step()` runs them.
+PHASES = ("commit", "events", "issue", "dispatch", "fetch")
+
+
+class CoreProfile:
+    """Aggregated timing and event counters for one simulation run."""
+
+    __slots__ = (
+        "phase_seconds", "cycles_stepped", "cycles_skipped", "skips",
+        "events_processed", "issue_queue_scanned", "started_at",
+    )
+
+    def __init__(self):
+        self.phase_seconds: Dict[str, float] = {name: 0.0
+                                                for name in PHASES}
+        self.cycles_stepped = 0  # cycles the core actually stepped
+        self.cycles_skipped = 0  # cycles jumped over by fast-forward
+        self.skips = 0  # number of fast-forward jumps
+        self.events_processed = 0
+        self.issue_queue_scanned = 0  # queue entries examined by issue
+        self.started_at = time.perf_counter()
+
+    # -- accounting (called from the core's instrumented step) --------------------
+
+    def time_phase(self, name: str, fn) -> None:
+        start = time.perf_counter()
+        fn()
+        self.phase_seconds[name] += time.perf_counter() - start
+
+    # -- reporting ----------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        total = sum(self.phase_seconds.values())
+        return {
+            "phase_seconds": {name: round(self.phase_seconds[name], 6)
+                              for name in PHASES},
+            "step_seconds": round(total, 6),
+            "wall_seconds": round(
+                time.perf_counter() - self.started_at, 6),
+            "cycles_stepped": self.cycles_stepped,
+            "cycles_skipped": self.cycles_skipped,
+            "skips": self.skips,
+            "events_processed": self.events_processed,
+            "issue_queue_scanned": self.issue_queue_scanned,
+        }
+
+    def report(self) -> str:
+        """Human-readable profile block (``repro-sim --profile``)."""
+        total = sum(self.phase_seconds.values()) or 1e-12
+        lines = ["phase      seconds   share"]
+        for name in PHASES:
+            seconds = self.phase_seconds[name]
+            lines.append(f"{name:<9} {seconds:>8.3f}  "
+                         f"{100 * seconds / total:>5.1f}%")
+        simulated = self.cycles_stepped + self.cycles_skipped
+        lines.append(f"cycles: {simulated} simulated = "
+                     f"{self.cycles_stepped} stepped + "
+                     f"{self.cycles_skipped} skipped "
+                     f"({self.skips} fast-forwards)")
+        lines.append(f"events processed: {self.events_processed}   "
+                     f"issue-queue entries scanned: "
+                     f"{self.issue_queue_scanned}")
+        return "\n".join(lines)

@@ -36,17 +36,24 @@ from .buffer import OperandSignature, RBEntry, ReuseBuffer
 StoreConflictFn = Callable[[InflightOp, int, int], bool]
 
 
-@dataclass
 class ReuseDecision:
-    """Outcome of one reuse test."""
+    """Outcome of one reuse test (a plain class: one per dispatch)."""
 
-    entry: Optional[RBEntry] = None
-    full: bool = False  # result (or branch outcome / jump target) reused
-    address: bool = False  # effective address reused (memory ops)
+    __slots__ = ("entry", "full", "address")
+
+    def __init__(self, entry: Optional[RBEntry] = None, full: bool = False,
+                 address: bool = False):
+        self.entry = entry
+        self.full = full  # result (or branch outcome / jump target) reused
+        self.address = address  # effective address reused (memory ops)
 
     @property
     def hit(self) -> bool:
         return self.full or self.address
+
+
+# Shared immutable miss: the overwhelmingly common outcome, never mutated.
+_MISS = ReuseDecision()
 
 
 class ReuseEngine:
@@ -62,46 +69,50 @@ class ReuseEngine:
     @staticmethod
     def eligible(op: InflightOp) -> bool:
         """Direct jumps, nops and halt gain nothing from reuse."""
-        opcode = op.inst.opcode
-        if opcode.op_class.name == "NOP":
-            return False
-        if opcode.is_jump and not opcode.is_indirect:
-            return False
-        return True
+        return op.meta.reuse_eligible
 
     # -- the reuse test (dispatch time) ----------------------------------------------
 
     def test(self, op: InflightOp, cycle: int,
              store_conflict: StoreConflictFn) -> ReuseDecision:
-        if not self.eligible(op):
-            return ReuseDecision()
+        meta = op.meta
+        if not meta.reuse_eligible:
+            return _MISS
         self.stats.ir_tests += 1
-        inst = op.inst
-        best = ReuseDecision()
-        for entry in self.buffer.instances(inst.pc):
+        pc = meta.pc
+        buffer = self.buffer
+        best: Optional[ReuseDecision] = None
+        is_mem = meta.is_mem
+        for entry in buffer.sets[(pc >> 2) & buffer.set_mask]:
+            if entry.pc != pc:
+                continue
             if not self._operands_match(op, entry, cycle):
                 continue
-            if inst.opcode.is_mem:
+            if is_mem:
                 decision = self._test_memory(op, entry, store_conflict)
             else:
                 decision = ReuseDecision(entry=entry, full=True)
             if decision.full:
                 best = decision
                 break
-            if decision.address and not best.address:
+            if decision.address and (best is None or not best.address):
                 best = decision
-        if best.entry is not None:
-            self.buffer.touch(best.entry)
-            self._count_recovery(best.entry)
+        if best is None or best.entry is None:
+            return _MISS
+        buffer.touch(best.entry)
+        self._count_recovery(best.entry)
         return best
 
     def _operands_match(self, op: InflightOp, entry: RBEntry,
                         cycle: int) -> bool:
         """All stored operands available and equal to the current values."""
+        src_values = op.src_values
         for reg, stored_value in entry.operands:
-            if not self._value_available(op, reg, cycle):
+            # Equality first: it is the cheap test and the common reject.
+            # Availability has no side effects, so the order is free.
+            if src_values.get(reg) != stored_value:
                 return False
-            if op.src_values.get(reg) != stored_value:
+            if not self._value_available(op, reg, cycle):
                 return False
         return True
 
@@ -141,7 +152,7 @@ class ReuseEngine:
     def _test_memory(self, op: InflightOp, entry: RBEntry,
                      store_conflict: StoreConflictFn) -> ReuseDecision:
         if entry.address is None:
-            return ReuseDecision()
+            return _MISS
         decision = ReuseDecision(entry=entry, address=True)
         if (op.is_load and entry.result_valid and entry.mem_valid
                 and not store_conflict(op, entry.address, entry.mem_bytes)):
@@ -162,28 +173,29 @@ class ReuseEngine:
         Stores keep only the base register: their reusable work is the
         address computation, which does not depend on the data operand.
         """
-        inst = op.inst
-        if inst.opcode.is_store:
-            regs: Tuple[int, ...] = (inst.rs,) if inst.rs != 0 else ()
+        meta = op.meta
+        if meta.is_store:
+            regs: Tuple[int, ...] = (meta.rs,) if meta.rs != 0 else ()
         else:
-            regs = inst.src_regs
+            regs = meta.src_regs
         return tuple((reg, op.src_values[reg]) for reg in regs)
 
     def insert(self, op: InflightOp) -> None:
         """Record a completed execution in the RB (wrong paths included)."""
-        if op.reused or not self.eligible(op):
+        meta = op.meta
+        if op.reused or not meta.reuse_eligible:
             return
-        inst, outcome = op.inst, op.outcome
-        entry = RBEntry(pc=inst.pc, operands=self.operand_signature(op))
-        if inst.opcode.is_branch:
+        outcome = op.outcome
+        entry = RBEntry(pc=meta.pc, operands=self.operand_signature(op))
+        if meta.is_branch:
             entry.result = int(outcome.taken)
-        elif inst.opcode.is_indirect:
+        elif meta.is_indirect:
             entry.result = outcome.next_pc
-        elif inst.opcode.is_mem:
+        elif meta.is_mem:
             entry.is_mem = True
-            entry.is_load = inst.opcode.is_load
+            entry.is_load = meta.is_load
             entry.address = outcome.mem_addr
-            entry.mem_bytes = inst.opcode.mem_bytes
+            entry.mem_bytes = meta.mem_bytes
             if entry.is_load:
                 entry.result = outcome.result
                 # Data forwarded from a not-yet-committed store is not
@@ -194,8 +206,10 @@ class ReuseEngine:
         else:
             entry.result = outcome.result
             entry.result_hi = outcome.result_hi
-        entry.source_entries = tuple(
-            producer.rb_entry for _, producer in sorted(op.producers.items()))
+        producers = op.producers
+        if producers:  # dependence pointers (the "d" of S_{n+d})
+            entry.source_entries = tuple(
+                producers[reg].rb_entry for reg in sorted(producers))
         op.rb_entry = self.buffer.insert(entry)
 
     def note_squashed(self, op: InflightOp) -> None:

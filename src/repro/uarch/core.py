@@ -19,12 +19,24 @@ Key timing conventions (see also :mod:`repro.uarch.entry`):
 * a verified misprediction corrects dependents ``verify_latency`` cycles
   after the verifying execution completes, and only the first instruction
   of a dependent chain pays that penalty (Section 4.1.3).
+
+Scheduling is event-driven rather than scan-driven (see
+``docs/internals.md``): completions and resolutions live on a heap keyed
+by cycle, issue examines only the wakeup queue of instructions whose
+state can actually change (not the whole ROB), every static instruction
+is pre-decoded once into a flat :class:`~repro.uarch.decode.StaticOp`
+record, and when the machine is provably idle until a known future cycle
+the core fast-forwards the cycle counter instead of stepping through
+empty cycles.  All of it is timing-transparent: the statistics are
+byte-identical to the scan-driven core's (``tests/golden`` pins this).
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
 from collections import deque
+from operator import attrgetter
 from typing import Deque, Dict, List, Optional, Tuple
 
 from ..functional.simulator import (
@@ -44,12 +56,14 @@ from ..isa.opcodes import (
     u32,
 )
 from ..isa.program import Program
+from ..metrics.profiling import CoreProfile
 from ..metrics.stats import SimStats
 from ..reuse.scheme import ReuseDecision, ReuseEngine
 from ..vp.predictors import ValuePredictor, make_predictor
 from .branch_predictor import BranchPredictorUnit
 from .cache import PortTracker, SetAssocCache
 from .config import BranchPolicy, IRValidation, MachineConfig, ReexecPolicy
+from .decode import DecodeTable, StaticOp
 from .entry import InflightOp
 from .fetch import FetchedInst, FetchUnit
 from .functional_units import FunctionalUnits
@@ -57,6 +71,11 @@ from .spec_state import SpeculativeState
 
 _EVENT_COMPLETE = 0
 _EVENT_RESOLVE = 1
+
+# Sentinel "no pending activity" cycle for the fast-forward bound.
+_FAR_FUTURE = 1 << 62
+
+_seq_key = attrgetter("seq")
 
 
 class OutOfOrderCore:
@@ -67,8 +86,9 @@ class OutOfOrderCore:
         self.program = program
         self.stats = SimStats(config_name=config.name)
 
+        self.decode = DecodeTable(program)
         self.predictor = BranchPredictorUnit(config.bpred)
-        self.fetch_unit = FetchUnit(config, program, self.predictor)
+        self.fetch_unit = FetchUnit(config, self.decode, self.predictor)
         self.fus = FunctionalUnits(config)
         self.dcache = SetAssocCache(config.dcache, "dcache")
         self.dcache_ports = PortTracker(config.dcache.ports)
@@ -78,6 +98,13 @@ class OutOfOrderCore:
         self.rob: Deque[InflightOp] = deque()
         self.lsq: Deque[InflightOp] = deque()
         self.events: List[Tuple[int, int, int, InflightOp]] = []
+        # Wakeup queue: the only instructions issue ever examines.  An op
+        # is resident from dispatch until it issues or can never issue
+        # again; re-executions re-enter through _queue_for_issue.  Kept in
+        # seq order (re-adds mark the queue dirty; it is re-sorted at the
+        # top of _issue) so issue priority matches ROB order exactly.
+        self.issue_queue: List[InflightOp] = []
+        self._issue_q_dirty = False
 
         self.cycle = 0
         self.seq = 0
@@ -85,11 +112,27 @@ class OutOfOrderCore:
         self.halt_dispatched: Optional[InflightOp] = None
         self.halted = False
 
+        # Cycle-skip fast-forward (disable for A/B timing experiments;
+        # statistics are identical either way).
+        self.fast_forward = True
+        self.profile: Optional[CoreProfile] = None
+
         self.vp = make_predictor(config.vp) if config.vp.enabled else None
         self.ir: Optional[ReuseEngine] = (
             ReuseEngine(config.ir, self.stats) if config.ir.enabled else None)
         self.verify_latency = config.vp.verify_latency if config.vp.enabled \
             else 0
+        # Without value prediction and without late-validated reuse, no
+        # mechanism can inject a wrong value: every execution reads exactly
+        # the dispatch-time (oracle) operands, so completion can return the
+        # dispatch outcome and finalization can skip the value comparisons.
+        # (Timing-only replays — e.g. a load whose forwarding relationship
+        # changes when a reused store address resolves — still occur and
+        # still go through the stale/re-execution machinery.)
+        self._pure_values = not (
+            config.vp.enabled
+            or (config.ir.enabled
+                and config.ir.validation == IRValidation.LATE))
 
         if config.vp.enabled and config.ir.enabled and not config.hybrid:
             raise ValueError(
@@ -109,13 +152,30 @@ class OutOfOrderCore:
     def run(self, max_cycles: Optional[int] = None,
             max_instructions: Optional[int] = None) -> SimStats:
         """Simulate until halt commits or a budget is exhausted."""
-        while not self.halted:
-            if max_cycles is not None and self.cycle >= max_cycles:
-                break
-            if (max_instructions is not None
-                    and self.stats.committed >= max_instructions):
-                break
-            self.step()
+        step = self.step
+        fast_forward = self._fast_forward
+        stats = self.stats
+        # The dataflow graph is cyclic (producer <-> consumer), which the
+        # cyclic collector would otherwise rescan every few thousand
+        # dispatches.  Commit and squash break those cycles explicitly
+        # (see _commit_one/_squash_after), so plain refcounting reclaims
+        # every InflightOp and the collector can be paused for the run.
+        restore_gc = gc.isenabled()
+        if restore_gc:
+            gc.disable()
+        try:
+            while not self.halted:
+                if max_cycles is not None and self.cycle >= max_cycles:
+                    break
+                if (max_instructions is not None
+                        and stats.committed >= max_instructions):
+                    break
+                step()
+                if self.fast_forward:
+                    fast_forward(max_cycles)
+        finally:
+            if restore_gc:
+                gc.enable()
         self._finalize_stats()
         return self.stats
 
@@ -144,6 +204,8 @@ class OutOfOrderCore:
 
     def step(self) -> None:
         """Advance one cycle (reverse pipeline order)."""
+        if self.profile is not None:
+            return self._step_profiled()
         self.cycle += 1
         self._commit()
         self._process_events()
@@ -152,18 +214,152 @@ class OutOfOrderCore:
         self.fetch_unit.step(self.cycle)
         self.stats.cycles = self.cycle
 
+    def _step_profiled(self) -> None:
+        """step() with per-phase wallclock accounting (``--profile``)."""
+        profile = self.profile
+        self.cycle += 1
+        profile.cycles_stepped += 1
+        profile.time_phase("commit", self._commit)
+        profile.time_phase("events", self._process_events)
+        profile.time_phase("issue", self._issue)
+        profile.time_phase("dispatch", self._dispatch)
+        profile.time_phase("fetch",
+                           lambda: self.fetch_unit.step(self.cycle))
+        self.stats.cycles = self.cycle
+
+    def enable_profiling(self) -> CoreProfile:
+        """Attach (and return) a :class:`CoreProfile` for this run."""
+        self.profile = CoreProfile()
+        return self.profile
+
+    # ---------------------------------------------------------- fast-forward --
+
+    def _fast_forward(self, max_cycles: Optional[int]) -> None:
+        """Jump over cycles in which provably nothing can happen.
+
+        Only the cycle counter moves: by construction no event fires, no
+        instruction becomes issuable/committable and the front end cannot
+        advance strictly before the target, so stepping through the gap
+        would only have burned wallclock.  Under-estimating the jump is
+        always safe (the next step re-derives it).
+        """
+        if self.halted:
+            return
+        target = self._next_activity_cycle()
+        if max_cycles is not None and target > max_cycles + 1:
+            # Land exactly on the budget so stats.cycles matches a core
+            # that stepped every empty cycle up to the limit.
+            target = max_cycles + 1
+        elif target >= _FAR_FUTURE:
+            return  # unbounded run with no pending work: spin, as before
+        if target <= self.cycle + 1:
+            return
+        skipped = target - 1 - self.cycle
+        self.cycle = target - 1
+        self.stats.cycles = self.cycle
+        if self.profile is not None:
+            self.profile.cycles_skipped += skipped
+            self.profile.skips += 1
+
+    def _next_activity_cycle(self) -> int:
+        """Earliest future cycle at which machine state can change.
+
+        Returns ``cycle + 1`` ("no skip") whenever anything might happen
+        next cycle; every subsystem contributes a conservative bound:
+
+        * the event heap's top entry (never skip past a scheduled event);
+        * fetch: imminent unless stalled (bound: ``stall_until``), out of
+          queue room, or blocked on a redirect (event-driven);
+        * dispatch: imminent when the queue head clears the ROB/LSQ/
+          checkpoint limits (unblocking is commit- or event-driven);
+        * commit: the head's ``nonspec_cycle + 1`` once it is completed
+          and resolved;
+        * the wakeup queue: a pending re-execution bounds at
+          ``reexec_earliest``; an op whose operands are all broadcast is
+          imminent; one waiting on an in-flight producer is covered by
+          that producer's completion event (or by the producer itself,
+          which sits earlier in this same queue).
+        """
+        no_skip = self.cycle + 1
+        bound = _FAR_FUTURE
+
+        events = self.events
+        if events:
+            bound = events[0][0]
+            if bound <= no_skip:
+                return no_skip
+
+        fetch = self.fetch_unit
+        if not fetch.blocked and fetch.room() > 0:
+            if fetch.stall_until > no_skip:
+                if fetch.stall_until < bound:
+                    bound = fetch.stall_until
+            else:
+                return no_skip
+
+        queue = fetch.queue
+        if queue and self.halt_dispatched is None:
+            head_op = queue[0].op
+            if len(self.rob) < self.config.rob_size \
+                    and (not head_op.is_mem
+                         or len(self.lsq) < self.config.lsq_size) \
+                    and (not head_op.needs_checkpoint
+                         or self.unresolved_control
+                         < self.config.max_unresolved_branches):
+                return no_skip  # head is dispatchable next cycle
+
+        rob = self.rob
+        if rob:
+            head = rob[0]
+            if head.completed and head.nonspec_cycle is not None \
+                    and (not head.is_control or head.resolved_final):
+                commit_at = head.nonspec_cycle + 1
+                if commit_at <= no_skip:
+                    return no_skip
+                if commit_at < bound:
+                    bound = commit_at
+
+        for op in self.issue_queue:
+            if op.squashed or op.issued:
+                continue
+            if op.completed and op.reexec_earliest is None:
+                continue
+            if op.reexec_earliest is not None:
+                if op.reexec_earliest <= no_skip:
+                    return no_skip
+                if op.reexec_earliest < bound:
+                    bound = op.reexec_earliest
+                continue
+            # Never executed: waiting on operands (or disambiguation).
+            if op.is_load and (op.addr_reused or op.addr_predicted):
+                return no_skip  # can issue on the predicted address
+            waiting_on_event = False
+            for reg, producer in op.producers.items():
+                if producer.reg_ready_cycle(reg) is None:
+                    waiting_on_event = True
+                    break
+            if not waiting_on_event:
+                return no_skip  # all operands broadcast: issue imminent
+        return bound
+
     # ---------------------------------------------------------------- events --
 
     def _schedule(self, cycle: int, kind: int, op: InflightOp) -> None:
         heapq.heappush(self.events, (cycle, op.seq, kind, op))
 
     def _process_events(self) -> None:
-        while self.events and self.events[0][0] <= self.cycle:
-            _, _, kind, op = heapq.heappop(self.events)
+        events = self.events
+        cycle = self.cycle
+        profile = self.profile
+        heappop = heapq.heappop
+        while events and events[0][0] <= cycle:
+            _, _, kind, op = heappop(events)
+            if profile is not None:
+                profile.events_processed += 1
             if op.squashed:
                 continue
             if kind == _EVENT_COMPLETE:
-                if op.completes_at == self.cycle and op.issued:
+                if op.completes_at == cycle and op.issued:
                     self._on_complete(op)
             elif kind == _EVENT_RESOLVE:
                 if not op.resolved_final:
@@ -174,56 +370,60 @@ class OutOfOrderCore:
 
     def _dispatch(self) -> None:
         dispatched = 0
-        while dispatched < self.config.decode_width and self.fetch_unit.queue:
-            fetched = self.fetch_unit.peek()
-            inst = fetched.inst
+        fetch = self.fetch_unit
+        while dispatched < self.config.decode_width and fetch.queue:
+            fetched = fetch.queue[0]
+            meta = fetched.op
             if fetched.fetch_cycle >= self.cycle:
                 break  # fetched this very cycle; decode next cycle
             if self.halt_dispatched is not None:
                 break
             if len(self.rob) >= self.config.rob_size:
                 break
-            if inst.opcode.is_mem and len(self.lsq) >= self.config.lsq_size:
+            if meta.is_mem and len(self.lsq) >= self.config.lsq_size:
                 break
-            needs_ckpt = inst.opcode.is_branch or inst.opcode.is_indirect
-            if needs_ckpt and (self.unresolved_control
-                               >= self.config.max_unresolved_branches):
+            if meta.needs_checkpoint and (self.unresolved_control
+                                          >= self.config
+                                          .max_unresolved_branches):
                 break
-            self.fetch_unit.pop()
+            fetch.pop()
             self._dispatch_one(fetched)
             dispatched += 1
             self.stats.dispatched += 1
-            if inst.opcode.is_halt:
+            if meta.is_halt:
                 break
             # A reused branch that squashed at dispatch cleared the queue,
             # which ends this loop naturally.
 
     def _dispatch_one(self, fetched: FetchedInst) -> InflightOp:
-        inst = fetched.inst
-        src_values = {reg: self.spec.regs[reg] for reg in inst.src_regs}
+        meta = fetched.op
+        inst = meta.inst
+        regs = self.spec.regs
+        src_values = {reg: regs[reg] for reg in meta.src_regs}
         outcome = execute(inst, self.spec)
         self.seq += 1
-        op = InflightOp(self.seq, inst, outcome, self.cycle)
+        op = InflightOp(self.seq, meta, outcome, self.cycle)
         op.src_values = src_values
-        for reg in inst.src_regs:
-            producer = self.rename.get(reg)
+        rename = self.rename
+        for reg in meta.src_regs:
+            producer = rename.get(reg)
             if producer is None:
                 continue
             op.producers[reg] = producer
             if producer.nonspec_cycle is None or not producer.completed:
                 producer.consumers.append((op, reg))
-        for reg in inst.dest_regs:
-            self.rename[reg] = op
+        for reg in meta.dest_regs:
+            rename[reg] = op
 
         self.rob.append(op)
-        if inst.opcode.is_mem:
+        if meta.is_mem:
             self.lsq.append(op)
 
         if op.is_control:
             self._dispatch_control(op, fetched)
         if not op.executes:
             self._complete_at_dispatch(op)
-        if inst.opcode.is_halt:
+        if meta.is_halt:
             self.halt_dispatched = op
 
         if self.ir is not None and op.executes:
@@ -231,20 +431,39 @@ class OutOfOrderCore:
         if self.vp is not None and op.executes and not op.is_control \
                 and not op.reused:
             self._apply_value_prediction(op)
+
+        if op.executes and not op.completed:
+            # Enter the wakeup queue only if issue is at least conceivable:
+            # an op with a producer that has not completed parks outside
+            # the queue until that producer's completion event wakes it.
+            # Loads with a reused/predicted address can issue without the
+            # base register, so they always enter.
+            park = False
+            if not (op.is_load and (op.addr_reused or op.addr_predicted)):
+                for reg, producer in op.producers.items():
+                    if reg == REG_HI and producer.meta.writes_hi_lo:
+                        ready = producer.hi_ready_cycle
+                    else:
+                        ready = producer.value_ready_cycle
+                    if ready is None:
+                        park = True
+                        break
+            if not park:
+                self._queue_for_issue(op)
         return op
 
     def _dispatch_control(self, op: InflightOp, fetched: FetchedInst) -> None:
-        inst = op.inst
+        meta = op.meta
         op.prediction = fetched.prediction
-        if inst.opcode.is_branch:
+        if meta.is_branch:
             op.believed_taken = fetched.prediction.taken
-            op.believed_target = inst.target
+            op.believed_target = meta.target
         else:
             op.believed_taken = True
             op.believed_target = (fetched.prediction.target
-                                  if fetched.prediction else inst.target)
+                                  if fetched.prediction else meta.target)
         if op.needs_checkpoint:
-            op.checkpoint = self.spec.take_checkpoint(inst.pc)
+            op.checkpoint = self.spec.take_checkpoint(meta.pc)
             op.rename_snapshot = dict(self.rename)
             self.unresolved_control += 1
         else:
@@ -265,17 +484,19 @@ class OutOfOrderCore:
     # -- VP at dispatch --------------------------------------------------------------
 
     def _apply_value_prediction(self, op: InflightOp) -> None:
-        inst, outcome = op.inst, op.outcome
-        if self.config.vp.predict_results and inst.dest_regs \
-                and outcome.result is not None and not inst.opcode.is_store:
-            predicted = self.vp.predict_result(inst.pc, outcome.result)
+        meta, outcome = op.meta, op.outcome
+        if self.config.vp.predict_results and meta.has_dest \
+                and outcome.result is not None and not meta.is_store:
+            predicted = self.vp.predict_result(meta.pc, outcome.result,
+                                               key=meta.vp_result_key)
             if predicted is not None:
                 op.predicted = True
                 op.predicted_value = predicted
                 op.value_ready_cycle = self.cycle
-        if inst.opcode.is_mem:
-            predicted_addr = self.vp.predict_address(inst.pc,
-                                                     outcome.mem_addr)
+        if meta.is_mem:
+            predicted_addr = self.vp.predict_address(meta.pc,
+                                                     outcome.mem_addr,
+                                                     key=meta.vp_addr_key)
             if predicted_addr is not None:
                 op.addr_predicted = True
                 op.predicted_addr = predicted_addr
@@ -322,11 +543,11 @@ class OutOfOrderCore:
             if entry.result != op.outcome.result:
                 raise SimulationError(
                     f"reuse produced wrong value at {op.inst}")
-        if op.inst.opcode.is_branch:
+        if op.meta.is_branch:
             self.stats.reused_branches += 1
-            self._resolve_control(op, bool(entry.result), op.inst.target,
+            self._resolve_control(op, bool(entry.result), op.meta.target,
                                   final=True)
-        elif op.inst.opcode.is_indirect:
+        elif op.meta.is_indirect:
             op.current_addr = entry.result
             self.stats.reused_branches += 1
             self._resolve_control(op, True, entry.result, final=True)
@@ -346,82 +567,162 @@ class OutOfOrderCore:
             # reuse test: detection is identical to early mode, only the
             # validation point moves to the execute stage.
             op.reuse_value = entry.result
-            if op.inst.dest_regs:
+            if op.meta.has_dest:
                 op.predicted = True
                 op.predicted_value = entry.result
                 op.value_ready_cycle = self.cycle
 
     # ------------------------------------------------------------------- issue --
 
+    def _queue_for_issue(self, op: InflightOp) -> None:
+        """Add *op* to the wakeup queue (idempotent)."""
+        if op.in_issue_queue or op.squashed:
+            return
+        queue = self.issue_queue
+        if queue and queue[-1].seq > op.seq:
+            self._issue_q_dirty = True  # re-add of an older op: re-sort
+        queue.append(op)
+        op.in_issue_queue = True
+
     def _issue(self) -> None:
+        queue = self.issue_queue
+        if not queue:
+            return
+        if self._issue_q_dirty:
+            queue.sort(key=_seq_key)
+            self._issue_q_dirty = False
+        cycle = self.cycle
+        width = self.config.issue_width
+        stats = self.stats
+        ports = self.dcache_ports
+        pool_list = self.fus.pool_list
+        profile = self.profile
         issued = 0
-        for op in self.rob:
-            if issued >= self.config.issue_width:
+        keep: List[InflightOp] = []
+        keep_append = keep.append
+        for index, op in enumerate(queue):
+            if issued >= width:
+                keep.extend(queue[index:])
                 break
-            if not self._wants_issue(op):
+            if profile is not None:
+                profile.issue_queue_scanned += 1
+            # Drop entries that can never want issue again: squashed ops,
+            # in-flight executions (completion re-queues via reexec), and
+            # completed ops with no pending re-execution.
+            if op.squashed or op.issued \
+                    or (op.completed and op.reexec_earliest is None):
+                op.in_issue_queue = False
                 continue
-            if not self._can_issue(op):
+            # The _wants_issue gates of the scan-driven core:
+            if op.dispatch_cycle >= cycle:
+                keep_append(op)
                 continue
-            granted = self._try_acquire_resources(op)
-            self.stats.resource_requests += 1
-            if not granted:
-                self.stats.resource_denials += 1
+            if op.reexec_earliest is not None and cycle < op.reexec_earliest:
+                keep_append(op)
                 continue
-            self._start_execution(op)
+            meta = op.meta
+            if op.is_load:
+                address = self._load_address(op)
+                if address is None:
+                    producer = op.producers.get(meta.rs)
+                    if op.reexec_earliest is None and producer is not None \
+                            and producer.reg_ready_cycle(meta.rs) is None:
+                        # Park: the base register's producer has not even
+                        # completed, so its completion event (which wakes
+                        # consumers) is the next time this can change.
+                        op.in_issue_queue = False
+                    else:
+                        keep_append(op)
+                    continue
+                # Table 1: loads execute only after all preceding store
+                # addresses are known (reused/predicted count as known).
+                gated = False
+                seq = op.seq
+                for store in self.lsq:
+                    if store.seq >= seq:
+                        break
+                    if not store.is_store or store.squashed:
+                        continue
+                    known = store.addr_known_cycle
+                    if known is None or known >= cycle:
+                        gated = True
+                        break
+                if gated:
+                    keep_append(op)
+                    continue
+                forwarding = self._forwarding_store(op, address)
+                if forwarding is not None:
+                    # Need the store's data before it can be bypassed.
+                    data_reg = forwarding.meta.rd
+                    producer = forwarding.producers.get(data_reg)
+                    if producer is not None:
+                        ready = producer.reg_ready_cycle(data_reg)
+                        if ready is None or ready >= cycle:
+                            keep_append(op)
+                            continue
+                needs_port = forwarding is None
+            else:
+                blocked = False
+                park = False
+                for reg, producer in op.producers.items():
+                    if reg == REG_HI and producer.meta.writes_hi_lo:
+                        ready = producer.hi_ready_cycle
+                    else:
+                        ready = producer.value_ready_cycle
+                    if ready is None:
+                        # Producer never completed: its completion event
+                        # wakes consumers, so leave the queue entirely.
+                        # (Completed re-exec candidates stay resident —
+                        # the wake walk skips completed consumers.)
+                        park = op.reexec_earliest is None
+                        blocked = True
+                        break
+                    if ready >= cycle:
+                        blocked = True
+                        break
+                if blocked:
+                    if park:
+                        op.in_issue_queue = False
+                    else:
+                        keep_append(op)
+                    continue
+                address = None
+                forwarding = None
+                needs_port = False
+            pool = pool_list[meta.op_class_index]
+            busy = pool.busy_until
+            unit = -1
+            for i in range(len(busy)):
+                if busy[i] <= cycle:
+                    unit = i
+                    break
+            stats.resource_requests += 1
+            if unit < 0 or (needs_port and ports.available(cycle) == 0):
+                stats.resource_denials += 1
+                keep_append(op)
+                continue
+            busy[unit] = cycle + meta.issue_interval
+            pool.grants += 1
+            if needs_port:
+                ports.try_acquire(cycle)
+            self._start_execution(op, address, forwarding)
+            op.in_issue_queue = False
             issued += 1
-
-    def _wants_issue(self, op: InflightOp) -> bool:
-        if op.squashed or op.issued or not op.executes:
-            return False
-        if op.dispatch_cycle >= self.cycle:
-            return False
-        if op.reexec_earliest is not None:
-            return self.cycle >= op.reexec_earliest
-        return not op.completed
-
-    def _can_issue(self, op: InflightOp) -> bool:
-        if op.is_load:
-            return self._load_can_issue(op)
-        if op.is_store:
-            return op.operands_ready(self.cycle)
-        return op.operands_ready(self.cycle)
-
-    def _load_can_issue(self, op: InflightOp) -> bool:
-        address = self._load_address(op)
-        if address is None:
-            return False
-        # Table 1: loads execute only after all preceding store addresses
-        # are known (reused/predicted addresses count as known).
-        for store in self.lsq:
-            if store.seq >= op.seq:
-                break
-            if not store.is_store or store.squashed:
-                continue
-            known = store.addr_known_cycle
-            if known is None or known >= self.cycle:
-                return False
-        forwarding = self._forwarding_store(op, address)
-        if forwarding is not None:
-            # Need the store's data before the value can be bypassed.
-            data_reg = forwarding.inst.rd
-            producer = forwarding.producers.get(data_reg)
-            if producer is not None:
-                ready = producer.reg_ready_cycle(data_reg)
-                if ready is None or ready >= self.cycle:
-                    return False
-        return True
+        self.issue_queue = keep
 
     def _load_address(self, op: InflightOp) -> Optional[int]:
         """The address a load issuing now would use, or None if unknown."""
-        base = op.inst.rs
+        meta = op.meta
+        base = meta.rs
         producer = op.producers.get(base)
-        base_ready = (producer is None
-                      or (producer.reg_ready_cycle(base) is not None
-                          and producer.reg_ready_cycle(base) < self.cycle))
-        if base_ready:
-            values = op.read_current_operands()
-            return u32(values.get(base, op.src_values.get(base, 0))
-                       + op.inst.imm)
+        if producer is None:
+            return u32(op.src_values.get(base, 0) + meta.imm)
+        ready = producer.reg_ready_cycle(base)
+        if ready is not None and ready < self.cycle:
+            current = producer.value_for_reg(base)
+            if current is None:
+                current = op.src_values[base]
+            return u32(current + meta.imm)
         if op.addr_reused or op.addr_predicted:
             return op.current_addr
         return None
@@ -429,51 +730,41 @@ class OutOfOrderCore:
     def _forwarding_store(self, op: InflightOp,
                           address: int) -> Optional[InflightOp]:
         """Youngest older store whose known address overlaps the load's."""
-        nbytes = op.inst.opcode.mem_bytes
+        nbytes = op.meta.mem_bytes
+        seq = op.seq
         best = None
         for store in self.lsq:
-            if store.seq >= op.seq:
+            if store.seq >= seq:
                 break
             if not store.is_store or store.squashed:
                 continue
             store_addr = store.current_addr
             if store_addr is None:
                 continue
-            store_bytes = store.inst.opcode.mem_bytes
             if store_addr < address + nbytes \
-                    and address < store_addr + store_bytes:
+                    and address < store_addr + store.meta.mem_bytes:
                 best = store
         return best
 
-    def _try_acquire_resources(self, op: InflightOp) -> bool:
-        opcode = op.inst.opcode
-        pool = self.fus.pools[opcode.op_class]
-        needs_port = False
-        if op.is_load:
-            address = self._load_address(op)
-            needs_port = self._forwarding_store(op, address) is None
-        if pool.available(self.cycle) == 0:
-            return False
-        if needs_port and self.dcache_ports.available(self.cycle) == 0:
-            return False
-        pool.try_issue(self.cycle, opcode.issue_interval)
-        if needs_port:
-            self.dcache_ports.try_acquire(self.cycle)
-        return True
-
-    def _start_execution(self, op: InflightOp) -> None:
+    def _start_execution(self, op: InflightOp,
+                         address: Optional[int] = None,
+                         forwarding: Optional[InflightOp] = None) -> None:
+        """Begin executing *op*; for loads the issue logic passes in the
+        effective address and forwarding store it already computed."""
         op.issued = True
         op.issue_cycle = self.cycle
         op.reexec_earliest = None
         op.stale = False
-        op.issue_read_values = op.read_current_operands()
-        latency = op.inst.opcode.latency
+        # Pure-value configurations read exactly the dispatch-time values;
+        # alias the dict (it is never mutated) instead of rebuilding it.
+        op.issue_read_values = (op.src_values if self._pure_values
+                                else op.read_current_operands())
+        latency = op.meta.latency
         if op.is_mem:
-            address = (self._load_address(op) if op.is_load
-                       else self._store_address(op))
+            if not op.is_load:
+                address = self._store_address(op)
             op.issue_addr = address
             if op.is_load:
-                forwarding = self._forwarding_store(op, address)
                 op.forwarded_from = forwarding
                 if forwarding is None:
                     latency += self.dcache.access_latency(address)
@@ -483,8 +774,9 @@ class OutOfOrderCore:
 
     def _store_address(self, op: InflightOp) -> int:
         values = op.issue_read_values
-        base = op.inst.rs
-        return u32(values.get(base, op.src_values.get(base, 0)) + op.inst.imm)
+        base = op.meta.rs
+        return u32(values.get(base, op.src_values.get(base, 0))
+                   + op.meta.imm)
 
     # --------------------------------------------------------------- completion --
 
@@ -514,6 +806,14 @@ class OutOfOrderCore:
         if op.hi_ready_cycle is None:
             op.hi_ready_cycle = self.cycle
 
+        if first:
+            # Wake parked consumers: ops that left the wakeup queue while
+            # this (their producer's first) execution was in flight.
+            for consumer, _reg in op.consumers:
+                if not consumer.in_issue_queue and not consumer.issued \
+                        and not consumer.completed and not consumer.squashed:
+                    self._queue_for_issue(consumer)
+
         if op.is_mem:
             self._complete_memory(op)
 
@@ -535,7 +835,9 @@ class OutOfOrderCore:
             self._propagate_change(op, correction, hi=True)
 
         if op.nonspec_cycle is None and not op.stale \
-                and op.reexec_earliest is None:
+                and op.reexec_earliest is None and not self._pure_values:
+            # Pure-value lane: inputs are never wrong, so no corrective
+            # self-scheduled re-execution can ever be needed.
             self._maybe_schedule_final_reexec(op)
 
         if op.is_control and not op.resolved_final \
@@ -553,55 +855,72 @@ class OutOfOrderCore:
             self._check_memory_violations(op)
             self._poke_younger_loads(op)
 
+        # Safety net: a pending re-execution raised while this execution
+        # was in flight must re-enter the wakeup queue.
+        if op.reexec_earliest is not None and not op.squashed:
+            self._queue_for_issue(op)
+
     def _evaluate(self, op: InflightOp) -> Tuple[Optional[int], Optional[int]]:
         """Result of this execution over the values actually read."""
-        inst, outcome = op.inst, op.outcome
+        meta, outcome = op.meta, op.outcome
+        if self._pure_values:
+            # Operands are the oracle values by construction: the result
+            # is the dispatch outcome (side effects mirrored from below).
+            if op.is_load:
+                op.used_addr = op.issue_addr
+                return outcome.result, None
+            if op.is_store:
+                op.used_addr = op.issue_addr
+                op.current_addr = op.issue_addr
+                return None, None
+            if meta.is_indirect:
+                op.current_addr = outcome.next_pc
+                return (outcome.result, None) if meta.is_call \
+                    else (None, None)
+            if meta.is_branch:
+                return int(outcome.taken), None
+            return outcome.result, outcome.result_hi
         values = op.used_values
         if op.is_load:
             address = op.issue_addr
             op.used_addr = address
             if address == outcome.mem_addr:
                 return outcome.result, None
-            opcode = inst.opcode
-            return self.spec.read_mem(address, opcode.mem_bytes,
-                                      opcode.mem_signed), None
+            return self.spec.read_mem(address, meta.mem_bytes,
+                                      meta.mem_signed), None
         if op.is_store:
             op.used_addr = op.issue_addr
             op.current_addr = op.issue_addr
             return None, None
-        if inst.opcode.is_indirect:
+        if meta.is_indirect:
             a, _ = self._operand_pair(op, values)
             op.current_addr = a  # computed jump target
-            return (outcome.result, None) if inst.opcode.is_call \
+            return (outcome.result, None) if meta.is_call \
                 else (None, None)
-        if inst.opcode.is_branch:
+        if meta.is_branch:
             if op.inputs_match_oracle(values):
                 return int(outcome.taken), None
             a, b = self._operand_pair(op, values)
-            return int(bool(inst.opcode.eval_fn(a, b, inst.imm))), None
+            return int(bool(meta.eval_fn(a, b, meta.imm))), None
         if op.inputs_match_oracle(values):
             return outcome.result, outcome.result_hi
-        opcode = inst.opcode
         a, b = self._operand_pair(op, values)
-        if opcode.writes_hi_lo:
-            pair = (mult_hi_lo(a, b) if opcode.name == "mult"
+        if meta.writes_hi_lo:
+            pair = (mult_hi_lo(a, b) if meta.is_mult
                     else div_hi_lo(a, b))
             return pair[1], pair[0]
-        return u32(opcode.eval_fn(a, b, inst.imm)), None
+        return u32(meta.eval_fn(a, b, meta.imm)), None
 
     def _operand_pair(self, op: InflightOp,
                       values: Dict[int, int]) -> Tuple[int, int]:
-        inst = op.inst
-        name = inst.opcode.name
-        if name in ("mfhi", "mflo"):
-            reg = REG_HI if name == "mfhi" else REG_LO
-            return values.get(reg, 0), 0
-        if inst.opcode.fmt.name == "BRANCH0":
-            return values.get(REG_FCC, 0), 0
-        a = values.get(inst.rs, op.src_values.get(inst.rs, 0)) \
-            if inst.rs else 0
-        b = values.get(inst.rt, op.src_values.get(inst.rt, 0)) \
-            if inst.rt else 0
+        meta = op.meta
+        pair_reg = meta.pair_reg
+        if pair_reg >= 0:  # mfhi/mflo/fcc-branch: one special operand
+            return values.get(pair_reg, 0), 0
+        src_values = op.src_values
+        rs, rt = meta.rs, meta.rt
+        a = values.get(rs, src_values.get(rs, 0)) if rs else 0
+        b = values.get(rt, src_values.get(rt, 0)) if rt else 0
         return a, b
 
     def _complete_memory(self, op: InflightOp) -> None:
@@ -611,8 +930,8 @@ class OutOfOrderCore:
                 op.addr_known_cycle = self.cycle
 
     def _computed_control(self, op: InflightOp) -> Tuple[bool, int]:
-        if op.inst.opcode.is_branch:
-            return bool(op.current_value), op.inst.target
+        if op.meta.is_branch:
+            return bool(op.current_value), op.meta.target
         return True, op.current_value  # indirect jump: target is the value
 
     def _propagate_change(self, op: InflightOp, correction_cycle: int,
@@ -627,10 +946,11 @@ class OutOfOrderCore:
                           or self.config.vp.reexec_policy
                           == ReexecPolicy.MULTIPLE)
         final = op.nonspec_cycle is not None
+        writes_hi_lo = op.meta.writes_hi_lo
         for consumer, reg in op.consumers:
             if consumer.squashed:
                 continue
-            is_hi = reg == REG_HI and op.inst.opcode.writes_hi_lo
+            is_hi = reg == REG_HI and writes_hi_lo
             if is_hi != hi:
                 continue
             if not (final or reexec_on_spec):
@@ -647,6 +967,8 @@ class OutOfOrderCore:
         if op.reexec_earliest is None or op.reexec_earliest > earliest:
             op.reexec_earliest = earliest
         op.nonspec_cycle = None
+        if not op.issued:
+            self._queue_for_issue(op)
 
     def _maybe_schedule_final_reexec(self, op: InflightOp) -> None:
         """My inputs were wrong and their producers already finalized:
@@ -667,8 +989,7 @@ class OutOfOrderCore:
             self._schedule_reexec(op, latest + 1)
 
     def _load_address_final(self, op: InflightOp) -> bool:
-        base = op.inst.rs
-        producer = op.producers.get(base)
+        producer = op.producers.get(op.meta.rs)
         return producer is None or producer.nonspec_cycle is not None
 
     # --------------------------------------------------------------- finalization --
@@ -681,12 +1002,16 @@ class OutOfOrderCore:
                 or op.reexec_earliest is not None:
             return
         when = op.last_completion_cycle
+        pure = self._pure_values
         for reg, producer in op.producers.items():
-            if producer.nonspec_cycle is None:
+            nonspec = producer.nonspec_cycle
+            if nonspec is None:
                 return
-            if op.used_values.get(reg) != producer.final_value_for_reg(reg):
+            if not pure and op.used_values.get(reg) \
+                    != producer.final_value_for_reg(reg):
                 return
-            when = max(when, producer.nonspec_cycle)
+            if nonspec > when:
+                when = nonspec
         if op.is_mem:
             if op.used_addr is not None \
                     and op.used_addr != op.outcome.mem_addr:
@@ -709,26 +1034,38 @@ class OutOfOrderCore:
             else:
                 self._schedule(when, _EVENT_RESOLVE, op)
 
-        for consumer, reg in list(op.consumers):
-            if consumer.squashed:
-                continue
-            final_value = op.final_value_for_reg(reg)
-            if consumer.issued:
-                if consumer.issue_read_values.get(reg) != final_value:
-                    consumer.stale = True
-            elif consumer.completed:
-                if consumer.used_values.get(reg) != final_value:
-                    self._schedule_reexec(consumer, max(when, self.cycle) + 1)
-                else:
+        if pure:
+            # Values always agree: finalization only cascades.
+            for consumer, reg in list(op.consumers):
+                if consumer.squashed:
+                    continue
+                if consumer.completed and not consumer.issued:
                     self._try_finalize(consumer)
-            if consumer.is_store or consumer.is_load:
-                self._poke_younger_loads(consumer)
+                if consumer.is_store or consumer.is_load:
+                    self._poke_younger_loads(consumer)
+        else:
+            for consumer, reg in list(op.consumers):
+                if consumer.squashed:
+                    continue
+                final_value = op.final_value_for_reg(reg)
+                if consumer.issued:
+                    if consumer.issue_read_values.get(reg) != final_value:
+                        consumer.stale = True
+                elif consumer.completed:
+                    if consumer.used_values.get(reg) != final_value:
+                        self._schedule_reexec(consumer,
+                                              max(when, self.cycle) + 1)
+                    else:
+                        self._try_finalize(consumer)
+                if consumer.is_store or consumer.is_load:
+                    self._poke_younger_loads(consumer)
         if op.is_store:
             self._poke_younger_loads(op)
 
     def _older_store_addrs_final(self, op: InflightOp) -> bool:
+        seq = op.seq
         for store in self.lsq:
-            if store.seq >= op.seq:
+            if store.seq >= seq:
                 break
             if store.is_store and not store.squashed \
                     and not self._store_addr_final(store):
@@ -740,8 +1077,7 @@ class OutOfOrderCore:
             return True
         if not store.completed or store.used_addr != store.outcome.mem_addr:
             return False
-        base = store.inst.rs
-        producer = store.producers.get(base)
+        producer = store.producers.get(store.meta.rs)
         return producer is None or producer.nonspec_cycle is not None
 
     def _poke_younger_loads(self, mem_op: InflightOp) -> None:
@@ -755,7 +1091,7 @@ class OutOfOrderCore:
     def _check_memory_violations(self, store: InflightOp) -> None:
         """A store's address just resolved: replay loads it invalidates."""
         address = store.current_addr
-        nbytes = store.inst.opcode.mem_bytes
+        nbytes = store.meta.mem_bytes
         for load in self.lsq:
             if load.seq <= store.seq or not load.is_load or load.squashed:
                 continue
@@ -764,7 +1100,7 @@ class OutOfOrderCore:
             load_addr = load.used_addr if load.completed else load.issue_addr
             if load_addr is None:
                 continue
-            load_bytes = load.inst.opcode.mem_bytes
+            load_bytes = load.meta.mem_bytes
             overlaps = (address < load_addr + load_bytes
                         and load_addr < address + nbytes)
             forwarded_here = load.forwarded_from is store
@@ -777,15 +1113,15 @@ class OutOfOrderCore:
     def _store_conflict(self, op: InflightOp, address: int,
                         nbytes: int) -> bool:
         """Reuse-test helper: does an older in-flight store overlap?"""
+        seq = op.seq
         for store in self.lsq:
-            if store.seq >= op.seq:
+            if store.seq >= seq:
                 break
             if not store.is_store or store.squashed:
                 continue
             store_addr = store.outcome.mem_addr
-            store_bytes = store.inst.opcode.mem_bytes
             if store_addr < address + nbytes \
-                    and address < store_addr + store_bytes:
+                    and address < store_addr + store.meta.mem_bytes:
                 return True
         return False
 
@@ -793,16 +1129,15 @@ class OutOfOrderCore:
 
     def _final_resolution(self, op: InflightOp) -> Tuple[bool, int]:
         """The true (non-speculative) outcome of a control instruction."""
-        if op.inst.opcode.is_branch:
-            return bool(op.outcome.taken), op.inst.target
+        if op.meta.is_branch:
+            return bool(op.outcome.taken), op.meta.target
         return True, op.outcome.next_pc
 
     def _resolve_control(self, op: InflightOp, taken: bool, target: int,
                          final: bool) -> None:
-        inst = op.inst
-        actual_next = target if taken else inst.next_pc
+        actual_next = target if taken else op.meta.next_pc
         believed_next = (op.believed_target if op.believed_taken
-                         else inst.next_pc)
+                         else op.meta.next_pc)
         op.last_resolution_cycle = self.cycle
         if actual_next != believed_next:
             had_path = believed_next is not None
@@ -829,9 +1164,9 @@ class OutOfOrderCore:
             self.stats.squashed_instructions += 1
             if self.vp is not None:
                 if victim.predicted:
-                    self.vp.abort_result(victim.inst.pc)
+                    self.vp.abort_result(victim.meta.pc)
                 if victim.addr_predicted:
-                    self.vp.abort_address(victim.inst.pc)
+                    self.vp.abort_address(victim.meta.pc)
             if victim.exec_count > 0:
                 self.stats.squashed_executed += 1
                 if self.ir is not None:
@@ -841,6 +1176,12 @@ class OutOfOrderCore:
                     self.unresolved_control -= 1
                 self.spec.release_checkpoint(victim.checkpoint)
                 victim.checkpoint = None
+            # As at commit: break the dataflow cycles so the squashed
+            # subgraph is reclaimed by refcounting alone.  Live ops only
+            # ever read a squashed op's `squashed` flag.
+            victim.consumers.clear()
+            victim.rename_snapshot = None
+            victim.forwarded_from = None
         while self.lsq and self.lsq[-1].squashed:
             self.lsq.pop()
         self.spec.restore(op.checkpoint)
@@ -851,12 +1192,12 @@ class OutOfOrderCore:
             self.halt_dispatched = None
 
     def _repair_predictor(self, op: InflightOp) -> None:
-        inst = op.inst
-        if inst.opcode.is_branch:
+        meta = op.meta
+        if meta.is_branch:
             self.predictor.repair(op.prediction, bool(op.believed_taken),
                                   is_conditional=True)
-        elif inst.opcode.is_call:
-            self.predictor.repair_call(op.prediction, inst.next_pc)
+        elif meta.is_call:
+            self.predictor.repair_call(op.prediction, meta.next_pc)
         else:
             self.predictor.repair(op.prediction, True, is_conditional=False)
 
@@ -864,26 +1205,29 @@ class OutOfOrderCore:
 
     def _commit(self) -> None:
         committed = 0
-        while self.rob and committed < self.config.commit_width:
-            op = self.rob[0]
+        rob = self.rob
+        cycle = self.cycle
+        width = self.config.commit_width
+        while rob and committed < width:
+            op = rob[0]
             if not op.completed or op.nonspec_cycle is None \
-                    or op.nonspec_cycle >= self.cycle:
+                    or op.nonspec_cycle >= cycle:
                 break
             if op.is_control and not op.resolved_final:
                 break
-            self.rob.popleft()
+            rob.popleft()
             if op.is_mem:
                 head = self.lsq.popleft()
                 assert head is op, "LSQ out of sync with ROB"
             self._commit_one(op)
             committed += 1
-            if op.inst.opcode.is_halt:
+            if op.meta.is_halt:
                 self.halted = True
                 self.stats.halted = True
                 break
 
     def _commit_one(self, op: InflightOp) -> None:
-        inst, outcome = op.inst, op.outcome
+        meta, outcome = op.meta, op.outcome
         stats = self.stats
         stats.committed += 1
         if op.exec_count > 0:
@@ -893,26 +1237,26 @@ class OutOfOrderCore:
             self.spec.release_checkpoint(op.checkpoint)
             op.checkpoint = None
 
-        if inst.opcode.is_branch:
+        if meta.is_branch:
             stats.cond_branches += 1
             if op.prediction.taken == outcome.taken:
                 stats.cond_branch_correct += 1
             stats.branch_resolution_cycles += (op.last_resolution_cycle
                                                - op.dispatch_cycle)
             stats.branch_resolution_count += 1
-            self.predictor.commit_branch(inst.pc, bool(outcome.taken),
+            self.predictor.commit_branch(meta.pc, bool(outcome.taken),
                                          op.prediction)
-        elif inst.is_return:
+        elif meta.is_return:
             stats.returns += 1
             if op.prediction and op.prediction.target == outcome.next_pc:
                 stats.returns_correct += 1
-        elif inst.opcode.is_indirect:
-            self.predictor.commit_indirect(inst.pc, outcome.next_pc)
+        elif meta.is_indirect:
+            self.predictor.commit_indirect(meta.pc, outcome.next_pc)
 
-        if inst.opcode.is_mem:
+        if op.is_mem:
             stats.memory_ops += 1
         if op.is_store and self.ir is not None:
-            self.ir.on_store_commit(outcome.mem_addr, inst.opcode.mem_bytes)
+            self.ir.on_store_commit(outcome.mem_addr, meta.mem_bytes)
 
         if self.vp is not None:
             self._train_vp(op)
@@ -926,35 +1270,45 @@ class OutOfOrderCore:
         if self.on_commit is not None:
             self.on_commit(op, self.cycle)
 
+        # Break the producer<->consumer reference cycles: nothing walks a
+        # committed op's consumer list again.  The backward `producers`
+        # edges stay (tests and observers inspect them) — they point
+        # strictly older, so once the forward edges are gone the committed
+        # window is a DAG that plain refcounting reclaims in cascade,
+        # letting run() pause the cyclic collector.
+        op.consumers.clear()
+        op.rename_snapshot = None
+        op.forwarded_from = None
+
     def _train_vp(self, op: InflightOp) -> None:
-        inst, outcome = op.inst, op.outcome
+        meta, outcome = op.meta, op.outcome
         stats = self.stats
-        if self.config.vp.predict_results and inst.dest_regs \
-                and outcome.result is not None and not inst.opcode.is_store \
+        if self.config.vp.predict_results and meta.has_dest \
+                and outcome.result is not None and not meta.is_store \
                 and op.executes and not op.is_control:
             stats.vp_result_lookups += 1
             if op.predicted:
                 stats.vp_result_predicted += 1
                 if op.predicted_value == outcome.result:
                     stats.vp_result_correct += 1
-            self.vp.train_result(inst.pc, outcome.result,
+            self.vp.train_result(meta.pc, outcome.result,
                                  op.predicted_value if op.predicted else None)
-        if inst.opcode.is_mem:
+        if meta.is_mem:
             stats.vp_addr_lookups += 1
             if op.addr_predicted:
                 stats.vp_addr_predicted += 1
                 if op.predicted_addr == outcome.mem_addr:
                     stats.vp_addr_correct += 1
-            self.vp.train_address(inst.pc, outcome.mem_addr,
+            self.vp.train_address(meta.pc, outcome.mem_addr,
                                   op.predicted_addr if op.addr_predicted
                                   else None)
 
     def _verify_commit(self, op: InflightOp) -> None:
         expected = self.oracle.step()
-        if expected.pc != op.inst.pc:
+        if expected.pc != op.meta.pc:
             raise SimulationError(
                 f"commit diverged: oracle at {expected.pc:#x}, "
-                f"core committed {op.inst.pc:#x} (cycle {self.cycle})")
+                f"core committed {op.meta.pc:#x} (cycle {self.cycle})")
         if expected.writes != op.outcome.writes:
             raise SimulationError(
                 f"commit wrote {op.outcome.writes} but oracle wrote "

@@ -8,6 +8,13 @@ Timing semantics used throughout the core:
 * ``nonspec_cycle`` is the cycle at which the value became non-value-
   speculative (verified); for non-VP configurations this equals the
   completion cycle.  Commit requires it.
+
+Every dynamic instance is built from the pre-decoded :class:`StaticOp`
+of its static instruction (see :mod:`repro.uarch.decode`): the
+classification flags below (``is_load``, ``is_control``, ...) are plain
+attributes copied from the shared record, not properties re-deriving
+opcode facts per access — the issue/wakeup hot path reads them millions
+of times per run.
 """
 
 from __future__ import annotations
@@ -15,9 +22,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..functional.simulator import ExecOutcome
-from ..isa.instruction import Instruction
 from ..isa.opcodes import REG_HI
 from .branch_predictor import BranchPrediction
+from .decode import StaticOp
 from .spec_state import Checkpoint
 
 
@@ -25,7 +32,7 @@ class InflightOp:
     """One dynamic instruction from dispatch to commit (or squash)."""
 
     __slots__ = (
-        "seq", "inst", "outcome", "dispatch_cycle",
+        "seq", "meta", "inst", "outcome", "dispatch_cycle",
         "producers", "src_values", "consumers",
         "completed", "ready_cycle", "value_ready_cycle", "hi_ready_cycle",
         "nonspec_cycle", "current_value", "current_hi",
@@ -40,15 +47,27 @@ class InflightOp:
         "current_addr", "addr_known_cycle", "forwarded_from",
         "rename_snapshot", "issue_cycle", "issue_addr",
         "last_completion_cycle", "reuse_hit_full", "reuse_hit_addr",
-        "executes", "squashed",
+        "executes", "squashed", "in_issue_queue",
+        "is_load", "is_store", "is_mem", "is_control", "is_cond_branch",
+        "needs_checkpoint",
     )
 
-    def __init__(self, seq: int, inst: Instruction, outcome: ExecOutcome,
+    def __init__(self, seq: int, meta: StaticOp, outcome: ExecOutcome,
                  dispatch_cycle: int):
         self.seq = seq
-        self.inst = inst
+        self.meta = meta
+        self.inst = meta.inst
         self.outcome = outcome
         self.dispatch_cycle = dispatch_cycle
+
+        # Static classification, shared with every other dynamic instance.
+        self.is_load = meta.is_load
+        self.is_store = meta.is_store
+        self.is_mem = meta.is_mem
+        self.is_control = meta.is_control
+        self.is_cond_branch = meta.is_branch
+        self.needs_checkpoint = meta.needs_checkpoint
+        self.executes = meta.executes
 
         # Register dataflow, fixed at rename time.
         self.producers: Dict[int, "InflightOp"] = {}  # src reg -> producer
@@ -74,6 +93,7 @@ class InflightOp:
         self.stale = False  # inputs changed while executing
         self.reexec_earliest: Optional[int] = None  # pending re-execution
         self.pending_final_reexec = False  # NME: re-exec when inputs final
+        self.in_issue_queue = False  # resident in the core's wakeup queue
 
         # Value prediction.
         self.predicted = False
@@ -102,13 +122,6 @@ class InflightOp:
         self.addr_known_cycle: Optional[int] = None  # stores: disambiguation
         self.forwarded_from: Optional["InflightOp"] = None
 
-        opcode = inst.opcode
-        # Direct jumps (j/jal) and nops never execute: their outcome is
-        # fully known at fetch.  Indirect jumps execute for their target.
-        self.executes = (opcode.is_indirect
-                         or (opcode.op_class.name != "NOP"
-                             and not opcode.is_jump))
-
         self.rename_snapshot = None  # rename-map copy for squash recovery
         self.issue_cycle: Optional[int] = None
         self.issue_addr: Optional[int] = None
@@ -118,51 +131,23 @@ class InflightOp:
 
         self.squashed = False
 
-    # -- classification helpers ----------------------------------------------------
-
-    @property
-    def is_cond_branch(self) -> bool:
-        return self.inst.opcode.is_branch
-
-    @property
-    def is_control(self) -> bool:
-        return self.inst.opcode.is_control
-
-    @property
-    def needs_checkpoint(self) -> bool:
-        """Control whose next PC was predicted (can mispredict)."""
-        op = self.inst.opcode
-        return op.is_branch or op.is_indirect
-
-    @property
-    def is_load(self) -> bool:
-        return self.inst.opcode.is_load
-
-    @property
-    def is_store(self) -> bool:
-        return self.inst.opcode.is_store
-
-    @property
-    def is_mem(self) -> bool:
-        return self.inst.opcode.is_mem
-
     # -- dataflow helpers ------------------------------------------------------------
 
     def value_for_reg(self, reg: int) -> Optional[int]:
         """Current broadcast value of my dest *reg* (HI vs LO aware)."""
-        if reg == REG_HI and self.inst.opcode.writes_hi_lo:
+        if reg == REG_HI and self.meta.writes_hi_lo:
             return self.current_hi
         return self.current_value
 
     def reg_ready_cycle(self, reg: int) -> Optional[int]:
         """When my dest *reg* became available to consumers."""
-        if reg == REG_HI and self.inst.opcode.writes_hi_lo:
+        if reg == REG_HI and self.meta.writes_hi_lo:
             return self.hi_ready_cycle
         return self.value_ready_cycle
 
     def final_value_for_reg(self, reg: int) -> Optional[int]:
         """Value of *reg* once I am non-speculative (oracle along my path)."""
-        if reg == REG_HI and self.inst.opcode.writes_hi_lo:
+        if reg == REG_HI and self.meta.writes_hi_lo:
             return self.outcome.result_hi
         return self.outcome.result
 
@@ -177,18 +162,21 @@ class InflightOp:
     def read_current_operands(self) -> Dict[int, int]:
         """Snapshot the *current* values of all source registers."""
         values: Dict[int, int] = {}
-        for reg in self.inst.src_regs:
-            producer = self.producers.get(reg)
+        src_values = self.src_values
+        producers = self.producers
+        for reg in self.meta.src_regs:
+            producer = producers.get(reg)
             if producer is None:
-                values[reg] = self.src_values[reg]
+                values[reg] = src_values[reg]
             else:
                 current = producer.value_for_reg(reg)
                 values[reg] = (current if current is not None
-                               else self.src_values[reg])
+                               else src_values[reg])
         return values
 
     def inputs_match_oracle(self, values: Dict[int, int]) -> bool:
-        return all(values[reg] == self.src_values[reg] for reg in values)
+        src_values = self.src_values
+        return all(values[reg] == src_values[reg] for reg in values)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<op#{self.seq} {self.inst.opcode.name}@{self.inst.pc:#x}"

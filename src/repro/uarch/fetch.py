@@ -1,38 +1,55 @@
-"""Instruction fetch: 4/cycle, one taken branch, no line crossing (Table 1)."""
+"""Instruction fetch: 4/cycle, one taken branch, no line crossing (Table 1).
+
+The fetch unit consumes pre-decoded :class:`StaticOp` records from the
+core's shared :class:`DecodeTable` — each static instruction is decoded
+once on its first fetch, and every later fetch of the same PC reuses the
+flat metadata record.
+"""
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 from typing import Deque, Optional
 
-from ..isa.instruction import INSTRUCTION_BYTES, Instruction
-from ..isa.program import Program
+from ..isa.instruction import Instruction
 from .branch_predictor import BranchPrediction, BranchPredictorUnit
 from .cache import SetAssocCache
 from .config import MachineConfig
+from .decode import DecodeTable, StaticOp
 
 
-@dataclass
 class FetchedInst:
     """One instruction in the fetch queue, with its fetch-time prediction."""
 
-    inst: Instruction
-    prediction: Optional[BranchPrediction]  # set for predicted control
-    fetch_cycle: int
+    __slots__ = ("op", "prediction", "fetch_cycle")
+
+    def __init__(self, op: StaticOp,
+                 prediction: Optional[BranchPrediction],
+                 fetch_cycle: int):
+        self.op = op
+        self.prediction = prediction  # set for predicted control
+        self.fetch_cycle = fetch_cycle
+
+    @property
+    def inst(self) -> Instruction:
+        return self.op.inst
 
 
 class FetchUnit:
     """Front end: I-cache + branch prediction + fetch queue."""
 
-    def __init__(self, config: MachineConfig, program: Program,
+    def __init__(self, config: MachineConfig, program,
                  predictor: BranchPredictorUnit):
         self.config = config
-        self.program = program
+        # Accept a pre-built DecodeTable (the core shares one) or a bare
+        # Program (standalone fetch tests).
+        self.decode = (program if isinstance(program, DecodeTable)
+                       else DecodeTable(program))
+        self.program = self.decode.program
         self.predictor = predictor
         self.icache = SetAssocCache(config.icache, "icache")
         self.queue: Deque[FetchedInst] = deque()
-        self.fetch_pc = program.entry_point
+        self.fetch_pc = self.program.entry_point
         self.stall_until = 0  # I-cache miss in progress
         self.blocked = False  # unknown next PC (unpredicted indirect/halt)
         self.fetched = 0
@@ -54,10 +71,17 @@ class FetchUnit:
         fetched = 0
         line_shift = self.icache.line_shift
         current_line = None
-        while fetched < self.config.fetch_width and self.room() > 0:
+        table = self.decode.table
+        lookup = self.decode.lookup
+        queue = self.queue
+        room = self.config.fetch_queue_size - len(queue)
+        width = self.config.fetch_width
+        while fetched < width and room > 0:
             pc = self.fetch_pc
-            inst = self.program.fetch(pc)
-            if inst is None:
+            op = table.get(pc)
+            if op is None:
+                op = lookup(pc)
+            if op is None:
                 # Fell off the program (wrong path): wait for a redirect.
                 self.blocked = True
                 break
@@ -70,11 +94,15 @@ class FetchUnit:
             elif line != current_line:
                 break  # cannot fetch across a cache line boundary
 
-            prediction, next_pc, stop = self._predict(inst)
-            self.queue.append(FetchedInst(inst, prediction, cycle))
+            if op.is_branch or op.is_jump:
+                prediction, next_pc, stop = self._predict(op)
+            else:  # straight-line fast path: no predictor involvement
+                prediction, next_pc, stop = None, op.next_pc, False
+            queue.append(FetchedInst(op, prediction, cycle))
             fetched += 1
+            room -= 1
             self.fetched += 1
-            if inst.opcode.is_halt:
+            if op.is_halt:
                 self.blocked = True
                 break
             if next_pc is None:
@@ -85,29 +113,28 @@ class FetchUnit:
                 break  # only one taken branch per cycle
         return fetched
 
-    def _predict(self, inst: Instruction):
+    def _predict(self, op: StaticOp):
         """Predict control flow; returns (prediction, next_pc, stop_group)."""
-        op = inst.opcode
         if op.is_branch:
-            prediction = self.predictor.predict_branch(inst.pc, inst.target)
+            prediction = self.predictor.predict_branch(op.pc, op.target)
             if prediction.taken:
-                return prediction, inst.target, True
-            return prediction, inst.next_pc, False
+                return prediction, op.target, True
+            return prediction, op.next_pc, False
         if op.is_jump:
             if op.is_call:
-                target = None if op.is_indirect else inst.target
+                target = None if op.is_indirect else op.target
                 prediction = self.predictor.predict_call(
-                    inst.pc, inst.next_pc, target)
-            elif inst.is_return:
-                prediction = self.predictor.predict_return(inst.pc)
+                    op.pc, op.next_pc, target)
+            elif op.is_return:
+                prediction = self.predictor.predict_return(op.pc)
             elif op.is_indirect:
-                prediction = self.predictor.predict_indirect(inst.pc)
+                prediction = self.predictor.predict_indirect(op.pc)
             else:  # direct j: target always known (ideal BTB)
                 prediction = BranchPrediction(
-                    True, inst.target, self.predictor.gshare.history,
+                    True, op.target, self.predictor.gshare.history,
                     self.predictor.ras.snapshot())
             return prediction, prediction.target, True
-        return None, inst.next_pc, False
+        return None, op.next_pc, False
 
     def pop(self) -> FetchedInst:
         return self.queue.popleft()

@@ -13,6 +13,7 @@ from typing import Dict, List
 
 from ..isa.opcodes import OpClass
 from .config import MachineConfig
+from .decode import OP_CLASS_INDEX
 
 
 class FUPool:
@@ -57,6 +58,11 @@ class FunctionalUnits:
             OpClass.FP_MUL_DIV: fp_mult_div,
             OpClass.NOP: alu,
         }
+        # Same pools indexed by StaticOp.op_class_index: the per-issue
+        # lookup is one list index instead of an enum-keyed dict probe.
+        self.pool_list: List[FUPool] = [None] * len(OP_CLASS_INDEX)
+        for op_class, pool in self.pools.items():
+            self.pool_list[OP_CLASS_INDEX[op_class]] = pool
 
     def try_issue(self, op_class: OpClass, cycle: int,
                   issue_interval: int) -> bool:

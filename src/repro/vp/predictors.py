@@ -36,24 +36,32 @@ class ValuePredictor:
 
     # -- prediction (dispatch time) ----------------------------------------------
 
-    def predict_result(self, pc: int, oracle: int) -> Optional[int]:
+    def predict_result(self, pc: int, oracle: int,
+                       key: Optional[int] = None) -> Optional[int]:
         """Predict the result of the instruction at *pc*, or ``None``.
 
         *oracle* is the correct result along the current (possibly wrong)
-        path, used only for VP_Magic's oracle selection policy.
+        path, used only for VP_Magic's oracle selection policy.  *key* is
+        the optional pre-computed table key (``StaticOp.vp_result_key``);
+        it saves re-deriving the key from the PC on the hot path.
         """
         self.result_lookups += 1
-        return self._predict(pc, KIND_RESULT, oracle)
+        if key is None:
+            key = self.table.key(pc, KIND_RESULT)
+        return self._predict(key, oracle)
 
-    def predict_address(self, pc: int, oracle: int) -> Optional[int]:
+    def predict_address(self, pc: int, oracle: int,
+                        key: Optional[int] = None) -> Optional[int]:
         """Predict the effective address of the memory op at *pc*."""
         if not self.config.predict_addresses:
             return None
         self.addr_lookups += 1
-        return self._predict(pc, KIND_ADDRESS, oracle)
+        if key is None:
+            key = self.table.key(pc, KIND_ADDRESS)
+        return self._predict(key, oracle)
 
-    def _predict(self, pc: int, kind: int, oracle: int) -> Optional[int]:
-        confident = self.table.confident_instances(pc, kind)
+    def _predict(self, key: int, oracle: int) -> Optional[int]:
+        confident = self.table.confident_for_key(key)
         if not confident:
             return None
         if self.config.kind == PredictorKind.MAGIC:
@@ -97,10 +105,12 @@ class PerfectPredictor:
     def __init__(self, config: VPConfig):
         self.config = config
 
-    def predict_result(self, pc: int, oracle: int):
+    def predict_result(self, pc: int, oracle: int,
+                       key: Optional[int] = None):
         return oracle
 
-    def predict_address(self, pc: int, oracle: int):
+    def predict_address(self, pc: int, oracle: int,
+                        key: Optional[int] = None):
         return oracle if self.config.predict_addresses else None
 
     def train_result(self, pc: int, actual: int, predicted) -> None:

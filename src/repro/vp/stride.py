@@ -60,8 +60,11 @@ class StrideTable:
         return self.sets[key & self.set_mask]
 
     def find(self, pc: int, kind: int) -> Optional[StrideEntry]:
-        key = self.key(pc, kind)
-        for entry in self._set_for(key):
+        return self.find_key(self.key(pc, kind))
+
+    def find_key(self, key: int) -> Optional[StrideEntry]:
+        """Like :meth:`find` with a pre-computed key."""
+        for entry in self.sets[key & self.set_mask]:
             if entry.tag == key:
                 return entry
         return None
@@ -105,16 +108,22 @@ class StridePredictor:
         self.config = config
         self.table = StrideTable(config)
 
-    def predict_result(self, pc: int, oracle: int) -> Optional[int]:
-        return self._predict(pc, self.KIND_RESULT)
+    def predict_result(self, pc: int, oracle: int,
+                       key: Optional[int] = None) -> Optional[int]:
+        if key is None:
+            key = self.table.key(pc, self.KIND_RESULT)
+        return self._predict(key)
 
-    def predict_address(self, pc: int, oracle: int) -> Optional[int]:
+    def predict_address(self, pc: int, oracle: int,
+                        key: Optional[int] = None) -> Optional[int]:
         if not self.config.predict_addresses:
             return None
-        return self._predict(pc, self.KIND_ADDRESS)
+        if key is None:
+            key = self.table.key(pc, self.KIND_ADDRESS)
+        return self._predict(key)
 
-    def _predict(self, pc: int, kind: int) -> Optional[int]:
-        entry = self.table.find(pc, kind)
+    def _predict(self, key: int) -> Optional[int]:
+        entry = self.table.find_key(key)
         if entry is None \
                 or entry.confidence < self.config.confidence_threshold:
             return None

@@ -55,10 +55,13 @@ class ValuePredictionTable:
 
     def confident_instances(self, pc: int, kind: int) -> List[VPTInstance]:
         """All instances for this instruction at or above the threshold."""
-        key = self.key(pc, kind)
-        return [inst for inst in self._set_for(key)
-                if inst.tag == key
-                and inst.confidence >= self.config.confidence_threshold]
+        return self.confident_for_key(self.key(pc, kind))
+
+    def confident_for_key(self, key: int) -> List[VPTInstance]:
+        """Like :meth:`confident_instances` with a pre-computed key."""
+        threshold = self.config.confidence_threshold
+        return [inst for inst in self.sets[key & self.set_mask]
+                if inst.tag == key and inst.confidence >= threshold]
 
     def instances(self, pc: int, kind: int) -> List[VPTInstance]:
         key = self.key(pc, kind)

@@ -1,0 +1,15 @@
+"""Repo-wide pytest options.
+
+``--regen-golden`` regenerates the golden-stats corpus under
+``tests/golden/`` instead of comparing against it.  Use it only for an
+*intentional* behaviour change, and say so in the commit message — the
+corpus is the byte-exact contract every core optimisation must honour
+(see docs/internals.md, "Golden-stats corpus").
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden", action="store_true", default=False,
+        help="rewrite tests/golden/*.json from the current core instead "
+             "of asserting byte-identity against it")

@@ -12,6 +12,10 @@ import pytest
 
 from repro.isa import assemble
 from repro.isa.disassembler import disassemble_source
+from repro.isa.program import DATA_BASE, TEXT_BASE
+from repro.uarch.config import base_config
+from repro.uarch.core import OutOfOrderCore
+from repro.uarch.decode import DecodeTable
 from repro.workloads import all_workloads, get_workload, workload_names
 from repro.workloads.random_program import random_program
 
@@ -112,6 +116,75 @@ class TestCornerCases:
               bnez $t0, loop
               halt
         """))
+
+    def test_decode_table_excludes_gaps_and_dead_code(self):
+        """Audit of the pre-decoded static metadata table.
+
+        The timing core's :class:`DecodeTable` is populated lazily on
+        first fetch; the latent bug class this guards against is a
+        stale/garbage :class:`StaticOp` materialising for a PC that
+        holds no instruction (a ``.space``-reserved data gap, an
+        address off the program) or for text no execution ever reaches.
+        """
+        program = assemble("""
+        .data
+        before: .word 1, 2
+        gap:    .space 32
+        after:  .word 3
+        .text
+        main: li $t0, 3
+              la $s0, before
+        loop: lw $t1, 0($s0)
+              addi $t0, $t0, -1
+              bnez $t0, loop
+              j done
+        dead: add $t2, $t2, $t2
+              sub $t3, $t3, $t2
+        done: halt
+        """)
+        core = OutOfOrderCore(base_config(), program)
+        core.run(max_cycles=10_000)
+        assert core.halted
+        table = core.decode.table
+
+        # Every table entry is a real instruction of this program, and
+        # wraps exactly the Instruction object the program holds.
+        for pc, static_op in table.items():
+            assert pc in program.instructions
+            assert static_op.inst is program.instructions[pc]
+
+        # The dead block behind the unconditional jump was never
+        # fetched, so it never entered the table.
+        dead = range(program.symbols["dead"], program.symbols["done"], 4)
+        assert len(dead) == 2
+        for pc in dead:
+            assert pc in program.instructions  # assembled, but...
+            assert pc not in table  # ...never decoded
+
+        # .space-reserved data addresses hold no instruction: lookups
+        # there (and at any other non-text address) return None.
+        gap_pc = program.symbols["gap"]
+        assert DATA_BASE <= gap_pc
+        for pc in (gap_pc, gap_pc + 4, DATA_BASE, TEXT_BASE - 4):
+            assert core.decode.lookup(pc) is None
+
+    def test_decode_table_never_caches_invalid_pcs(self):
+        """A miss must not be memoised: the table stays instructions-only."""
+        program = assemble("""
+        .data
+        buf: .space 16
+        .text
+        main: halt
+        """)
+        decode = DecodeTable(program)
+        decode.lookup(TEXT_BASE)  # the only instruction
+        populated = len(decode)
+        for bad_pc in (program.symbols["buf"], TEXT_BASE + 4,
+                       TEXT_BASE - 4, 0, 0xFFFF_FFFC):
+            assert decode.lookup(bad_pc) is None
+            assert decode.lookup(bad_pc) is None  # idempotent
+        assert len(decode) == populated == 1
+        assert decode.decoded_pcs() == [TEXT_BASE]
 
     def test_control_flow_targets_survive(self):
         program = assemble("""

@@ -1,0 +1,101 @@
+"""Golden-stats regression corpus: the byte-exact contract of the core.
+
+Every (workload x configuration) pair in the corpus was simulated once
+and its canonical ``SimStats`` serialization committed under
+``tests/golden/``.  These tests re-run each pair on the current core and
+assert **byte identity** — not approximate equality, not same-IPC: the
+exact per-instruction event counts the paper's limit-study methodology
+depends on (Sodani & Sohi count executions, squashes, reuses and
+predictions individually; a core change that shifts any counter by one
+changes the paper's tables).
+
+Performance work on the core hot path is only allowed to land when this
+corpus is untouched.  To *intentionally* change timing behaviour,
+regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/uarch/test_golden_stats.py \
+        --regen-golden
+
+and justify the diff of ``tests/golden/`` in the commit message.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.uarch.config import (
+    base_config,
+    hybrid_config,
+    ir_config,
+    vp_config,
+)
+from repro.uarch.core import OutOfOrderCore
+from repro.workloads import get_workload, workload_names
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "golden"
+
+# Budgets are part of the contract: regeneration must use the same ones.
+INSTRUCTIONS = 4_000
+MAX_CYCLES = 200_000
+
+CONFIG_FACTORIES = {
+    "base": base_config,
+    "vp": vp_config,
+    "ir": ir_config,
+    "hybrid": hybrid_config,
+}
+
+CASES = [(workload, key)
+         for workload in sorted(workload_names())
+         for key in sorted(CONFIG_FACTORIES)]
+
+
+def golden_path(workload: str, config_key: str) -> Path:
+    return GOLDEN_DIR / f"{workload}__{config_key}.json"
+
+
+def run_case(workload: str, config_key: str):
+    """One corpus run: warm skip, then a fixed committed-inst budget."""
+    spec = get_workload(workload)
+    config = CONFIG_FACTORIES[config_key]()
+    core = OutOfOrderCore(config, spec.program("ref"))
+    core.skip(spec.skip_instructions)
+    stats = core.run(max_cycles=MAX_CYCLES, max_instructions=INSTRUCTIONS)
+    stats.workload_name = workload
+    return stats
+
+
+@pytest.fixture(scope="session")
+def regen(request):
+    return request.config.getoption("--regen-golden")
+
+
+@pytest.mark.parametrize("workload,config_key", CASES)
+def test_golden_stats(workload, config_key, regen):
+    stats = run_case(workload, config_key)
+    text = stats.canonical_json() + "\n"
+    path = golden_path(workload, config_key)
+    if regen:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text)
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"missing golden file {path.name}; generate the corpus with "
+        f"--regen-golden")
+    golden = path.read_text()
+    if golden != text:
+        # Surface which counters moved, not just "bytes differ".
+        import json
+
+        from repro.metrics.stats import SimStats
+        want = SimStats.from_dict(json.loads(golden))
+        diff = stats.diff(want)
+        raise AssertionError(
+            f"{path.name}: stats diverged from the golden corpus: {diff}")
+
+
+def test_corpus_has_no_orphans():
+    """Every committed golden file corresponds to a live corpus case."""
+    expected = {golden_path(w, k).name for w, k in CASES}
+    actual = {p.name for p in GOLDEN_DIR.glob("*.json")}
+    assert actual == expected
