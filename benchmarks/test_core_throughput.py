@@ -39,6 +39,7 @@ KERNEL = [
     ("compress", hybrid_config, 10_000),
 ]
 REGRESSION_TOLERANCE = 0.20  # warn when >20% below the committed number
+HISTORY_LIMIT = 20  # benchmark runs kept in the ``history`` list
 
 
 def _run_kernel():
@@ -71,12 +72,17 @@ def test_core_throughput_gate():
     if BENCH_FILE.exists():
         committed = json.loads(BENCH_FILE.read_text())
 
+    # Each run *appends* to ``history`` (bounded) rather than
+    # overwriting, so regressions show up as a trend across runs.
+    entry = {"current_ips": round(ips, 1)}
+    history = (committed.get("history", []) + [entry])[-HISTORY_LIMIT:]
     record = {
         "kernel": [[w, f.__name__, n] for w, f, n in KERNEL],
         "seed_ips": committed.get("seed_ips", ips),
         "current_ips": round(ips, 1),
         "speedup_vs_seed": round(
             ips / committed.get("seed_ips", ips), 2),
+        "history": history,
     }
     BENCH_FILE.write_text(json.dumps(record, indent=1) + "\n")
 

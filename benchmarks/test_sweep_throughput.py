@@ -1,0 +1,146 @@
+"""Sweep-cost benchmark: the interactivity gate for the full harness.
+
+Times a representative slice of the experiment sweep — timing runs
+across all four technique configurations plus functional limit-study
+runs — through :class:`~repro.experiments.runner.ExperimentRunner` at
+``jobs=1``, twice:
+
+* **cold**: empty result cache *and* empty checkpoint store (the first
+  sweep on a fresh checkout);
+* **warm**: empty result cache but a populated warm-state checkpoint
+  store (every later sweep: the common case this PR optimises, since
+  the store is keyed on program content and survives cache-version
+  bumps, budget changes and CI cache restores).
+
+Results go to ``BENCH_sweep.json`` at the repo root.  The committed
+``baseline_seconds`` is the same kernel measured once on the
+pre-optimisation harness (generic ``execute`` dispatch, no checkpoint
+store) on the machine that produced the file; ``history`` accumulates
+one entry per benchmark run instead of overwriting, so a regression
+shows up as a trend, not a mystery.
+
+Like the core-throughput gate, this *warns* (never fails): wallclock
+noise across CI machines must not fail a correctness job, which is why
+this file lives in ``benchmarks/`` outside the tier-1 ``testpaths``.
+"""
+
+import json
+import tempfile
+import time
+import warnings
+from pathlib import Path
+
+from repro.experiments.runner import ExperimentRunner
+from repro.uarch.config import (
+    base_config,
+    hybrid_config,
+    ir_config,
+    vp_config,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_FILE = REPO_ROOT / "BENCH_sweep.json"
+
+CONFIG_FACTORIES = {
+    "base": base_config,
+    "vp": vp_config,
+    "ir": ir_config,
+    "hybrid": hybrid_config,
+}
+
+# The timed kernel: two workloads through every technique configuration
+# (the golden-corpus budgets) plus the limit study at three producer
+# distances — the same mix `repro-experiment all` is made of, scaled to
+# keep the gate in seconds.
+TIMING_KERNEL = [(workload, key) for workload in ("compress", "ijpeg")
+                 for key in sorted(CONFIG_FACTORIES)]
+LIMIT_KERNEL = [(workload, pd) for workload in ("compress", "ijpeg")
+                for pd in (25, 50, 100)]
+INSTRUCTIONS = 4_000
+MAX_CYCLES = 200_000
+WARMUP = 60_000
+WINDOW = 20_000
+
+REPEATS = 2
+TARGET_SPEEDUP = 3.0  # the acceptance bar for cold vs baseline
+HISTORY_LIMIT = 20
+
+
+def _run_kernel(cache_dir: Path, checkpoint_dir: Path) -> float:
+    """One jobs=1 sweep of the kernel; returns wallclock seconds."""
+    runner = ExperimentRunner(max_instructions=INSTRUCTIONS,
+                              max_cycles=MAX_CYCLES,
+                              cache_dir=cache_dir,
+                              checkpoint_dir=checkpoint_dir,
+                              quiet=True, jobs=1)
+    start = time.perf_counter()
+    for workload, key in TIMING_KERNEL:
+        runner.run(workload, CONFIG_FACTORIES[key]())
+    for workload, producer_distance in LIMIT_KERNEL:
+        runner.run_redundancy(workload, warmup=WARMUP, window=WINDOW,
+                              producer_distance=producer_distance)
+    return time.perf_counter() - start
+
+
+def measure() -> dict:
+    """Best-of-N cold and warm sweep times, in seconds."""
+    cold = warm = float("inf")
+    with tempfile.TemporaryDirectory() as tmp:
+        store = Path(tmp) / "checkpoints"  # persists across warm repeats
+        for repeat in range(REPEATS):
+            cold_base = Path(tmp) / f"cold{repeat}"
+            cold = min(cold, _run_kernel(cold_base / "results",
+                                         cold_base / "checkpoints"))
+            warm_results = Path(tmp) / f"warm{repeat}" / "results"
+            seconds = _run_kernel(warm_results, store)
+            if repeat:  # repeat 0 populated the store: that one was cold
+                warm = min(warm, seconds)
+    return {"cold_seconds": round(cold, 3),
+            "warm_seconds": round(warm, 3)}
+
+
+def test_sweep_throughput_gate():
+    measured = measure()
+    committed = {}
+    if BENCH_FILE.exists():
+        committed = json.loads(BENCH_FILE.read_text())
+    baseline = committed.get("baseline_seconds")
+
+    entry = dict(measured)
+    if baseline:
+        entry["speedup_vs_baseline"] = round(
+            baseline / measured["cold_seconds"], 2)
+        entry["warm_speedup_vs_baseline"] = round(
+            baseline / measured["warm_seconds"], 2)
+    history = committed.get("history", [])
+    history = (history + [entry])[-HISTORY_LIMIT:]
+
+    record = {
+        "kernel": {
+            "timing": [list(pair) for pair in TIMING_KERNEL],
+            "limit": [list(pair) for pair in LIMIT_KERNEL],
+            "instructions": INSTRUCTIONS,
+            "max_cycles": MAX_CYCLES,
+            "warmup": WARMUP,
+            "window": WINDOW,
+            "jobs": 1,
+        },
+        "baseline_seconds": baseline,
+        **entry,
+        "history": history,
+    }
+    BENCH_FILE.write_text(json.dumps(record, indent=1) + "\n")
+
+    if baseline:
+        speedup = baseline / measured["cold_seconds"]
+        if speedup < TARGET_SPEEDUP:
+            warnings.warn(
+                f"cold sweep {measured['cold_seconds']:.3f}s is only "
+                f"{speedup:.2f}x the {baseline:.3f}s baseline "
+                f"(target {TARGET_SPEEDUP:.1f}x)", stacklevel=1)
+    assert measured["cold_seconds"] > 0
+    assert measured["warm_seconds"] > 0
+
+
+if __name__ == "__main__":
+    print(json.dumps(measure(), indent=1))

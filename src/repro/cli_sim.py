@@ -19,6 +19,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from .functional.checkpoint import CheckpointStore
 from .isa import assemble
 from .metrics.breakdown import ClassBreakdown
 from .uarch.config import (
@@ -76,6 +77,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", action="store_true",
                         help="print per-phase wallclock profile and "
                              "event-queue counters after each run")
+    parser.add_argument("--checkpoint-dir", type=Path, default=None,
+                        help="persist warm-state checkpoints here so "
+                             "later invocations skip the warm-up "
+                             "(default: share within this invocation "
+                             "only)")
+    parser.add_argument("--no-checkpoint", action="store_true",
+                        help="re-execute the warm-up skip for every "
+                             "configuration")
     return parser
 
 
@@ -95,6 +104,12 @@ def _load_program(args):
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     program_fn, skip, label = _load_program(args)
+    # One program image for every configuration (it is immutable), and
+    # one warm-up: each config restores the captured warm state instead
+    # of re-executing the skip (identical statistics either way).
+    program = program_fn()
+    checkpoints = None if args.no_checkpoint \
+        else CheckpointStore(args.checkpoint_dir)
 
     print(f"program: {label}   skip: {skip}   "
           f"budget: {args.instructions} instructions")
@@ -111,14 +126,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.verify:
             import dataclasses
             config = dataclasses.replace(config, verify_commits=True)
-        core = OutOfOrderCore(config, program_fn())
+        core = OutOfOrderCore(config, program)
         breakdown = ClassBreakdown(core) if args.breakdown else None
         tracer = None
         if args.trace:
             tracer = PipelineTracer(core, limit=args.trace,
                                     start_cycle=200)
         profile = core.enable_profiling() if args.profile else None
-        core.skip(skip)
+        if checkpoints is not None:
+            core.restore_warm(checkpoints.get(program, skip))
+        else:
+            core.skip(skip)
         stats = core.run(max_cycles=args.max_cycles,
                          max_instructions=args.instructions)
         if base_cycles is None:

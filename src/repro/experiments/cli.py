@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List
 
 from ..metrics.report import Report
@@ -111,6 +112,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "1 = serial)")
     parser.add_argument("--no-cache", action="store_true",
                         help="do not read or write the results/ cache")
+    parser.add_argument("--checkpoint-dir", type=Path, default=None,
+                        help="warm-state checkpoint store directory "
+                             "(default: <cache>/checkpoints; see "
+                             "docs/internals.md)")
+    parser.add_argument("--no-checkpoint", action="store_true",
+                        help="re-execute every warm-up skip instead of "
+                             "restoring warm-state checkpoints")
     parser.add_argument("--verify", action="store_true",
                         help="cross-check every commit against the "
                              "functional simulator (slower)")
@@ -127,6 +135,10 @@ def main(argv: List[str] | None = None) -> int:
                  "jobs": args.jobs}
     if args.no_cache:
         overrides["cache_dir"] = None
+    if args.checkpoint_dir is not None:
+        overrides["checkpoint_dir"] = args.checkpoint_dir
+    if args.no_checkpoint:
+        overrides["use_checkpoints"] = False
     runner = default_runner(**overrides)
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]

@@ -1,90 +1,11 @@
-"""Advisory per-file locks for the experiment result cache.
+"""Back-compat re-export: the lock moved to :mod:`repro.util.locking`.
 
-When :class:`~repro.experiments.runner.ExperimentRunner` fans
-simulations out over a process pool, two workers may race to produce the
-same cache entry (e.g. the base run every speedup divides by).  Each
-cache key gets a sidecar ``<key>.lock`` file; a worker holds the lock
-while it re-checks the cache and (re-)simulates, so a pair is never run
-twice and a reader can never observe a half-written JSON file.
-
-On POSIX the lock is ``fcntl.flock`` (kernel-mediated, crash-safe: the
-lock dies with the process).  Where ``fcntl`` is unavailable the
-fallback is an ``O_CREAT | O_EXCL`` spin lock with a stale-lock timeout.
+The advisory file lock started life here, private to the experiment
+cache; the warm-state checkpoint store (:mod:`repro.functional.checkpoint`)
+needs the same primitive from a lower layer, so the implementation now
+lives in :mod:`repro.util.locking` and this module only re-exports it.
 """
 
-from __future__ import annotations
+from ..util.locking import STALE_LOCK_SECONDS, FileLock
 
-import os
-import time
-from pathlib import Path
-
-try:  # POSIX
-    import fcntl
-except ImportError:  # pragma: no cover - non-POSIX fallback
-    fcntl = None
-
-# A fallback lock file older than this is presumed leaked by a dead
-# process and is broken.  flock locks never go stale, so this only
-# matters on platforms without fcntl.
-STALE_LOCK_SECONDS = 600.0
-
-
-class FileLock:
-    """Context manager: exclusive advisory lock on *path*.
-
-    Reentrant within a process is NOT supported (and not needed: the
-    runner acquires one lock per cache key, once).
-    """
-
-    def __init__(self, path: Path, poll_interval: float = 0.02):
-        self.path = Path(path)
-        self.poll_interval = poll_interval
-        self._fd: int | None = None
-
-    def acquire(self) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        if fcntl is not None:
-            self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
-            fcntl.flock(self._fd, fcntl.LOCK_EX)
-            return
-        self._acquire_spin()  # pragma: no cover - non-POSIX fallback
-
-    def _acquire_spin(self) -> None:  # pragma: no cover - non-POSIX
-        while True:
-            try:
-                self._fd = os.open(self.path,
-                                   os.O_CREAT | os.O_EXCL | os.O_RDWR, 0o644)
-                os.write(self._fd, str(os.getpid()).encode())
-                return
-            except FileExistsError:
-                try:
-                    age = time.time() - self.path.stat().st_mtime
-                    if age > STALE_LOCK_SECONDS:
-                        self.path.unlink()
-                        continue
-                except OSError:
-                    pass  # raced with the holder's release
-                time.sleep(self.poll_interval)
-
-    def release(self) -> None:
-        if self._fd is None:
-            return
-        try:
-            if fcntl is not None:
-                fcntl.flock(self._fd, fcntl.LOCK_UN)
-            else:  # pragma: no cover - non-POSIX fallback
-                self.path.unlink()
-        finally:
-            os.close(self._fd)
-            self._fd = None
-
-    @property
-    def held(self) -> bool:
-        return self._fd is not None
-
-    def __enter__(self) -> "FileLock":
-        self.acquire()
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.release()
+__all__ = ["FileLock", "STALE_LOCK_SECONDS"]

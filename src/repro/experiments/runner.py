@@ -20,9 +20,16 @@ or in what order.  Three mechanisms uphold the contract:
 * cache files are written canonically (sorted keys) and atomically
   (tempfile + ``os.replace``), so a cache produced by a ``jobs=8`` sweep
   is byte-identical to a serial one;
-* a per-key :class:`~repro.experiments.locking.FileLock` makes
+* a per-key :class:`~repro.util.locking.FileLock` makes
   concurrent workers (or concurrent CLI invocations) cooperate instead
   of double-running or corrupting an entry.
+
+Warm-up skips are shared through the content-addressed checkpoint
+store (:mod:`repro.functional.checkpoint`, default
+``<cache>/checkpoints``): the first simulation of a workload captures
+the post-skip architectural state and every later configuration,
+worker process or invocation restores it — byte-identical statistics
+either way, under the same locking discipline as the result cache.
 
 ``tests/experiments/test_parallel.py`` asserts all of this.
 
@@ -45,14 +52,16 @@ import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..functional.checkpoint import CheckpointStore
 from ..functional.simulator import FunctionalSimulator
+from ..isa.program import Program
 from ..metrics.stats import SimStats
 from ..redundancy.reusability import ReusabilityAnalyzer
 from ..uarch.config import MachineConfig
 from ..workloads import WorkloadSpec, all_workloads, get_workload
-from .locking import FileLock
+from ..util.locking import FileLock
 
-CACHE_VERSION = 3
+CACHE_VERSION = 4
 
 DEFAULT_INSTRUCTIONS = 20_000
 DEFAULT_MAX_CYCLES = 600_000
@@ -81,7 +90,9 @@ class ExperimentRunner:
                  verify: bool = False,
                  quiet: bool = False,
                  jobs: Optional[int] = None,
-                 mp_start_method: Optional[str] = None):
+                 mp_start_method: Optional[str] = None,
+                 checkpoint_dir: Optional[Path] = None,
+                 use_checkpoints: bool = True):
         self.max_instructions = max_instructions
         self.max_cycles = max_cycles
         self.cache_dir = Path(cache_dir) if cache_dir else None
@@ -89,7 +100,21 @@ class ExperimentRunner:
         self.quiet = quiet
         self.jobs = jobs
         self.mp_start_method = mp_start_method
+        # Warm-state checkpoints (repro.functional.checkpoint): every
+        # configuration of a workload shares one warm-up.  The store
+        # defaults to a subdirectory of the result cache so sweeps from
+        # any process share it; without a cache_dir it is process-local
+        # (memoized captures, nothing persisted).
+        if checkpoint_dir is None and self.cache_dir is not None:
+            checkpoint_dir = self.cache_dir / "checkpoints"
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir \
+            else None
+        self.use_checkpoints = use_checkpoints
+        self.checkpoints: Optional[CheckpointStore] = (
+            CheckpointStore(self.checkpoint_dir) if use_checkpoints
+            else None)
         self._memory_cache: Dict[str, SimStats] = {}
+        self._program_cache: Dict[str, Program] = {}
 
     # -- timing runs ------------------------------------------------------------
 
@@ -148,6 +173,8 @@ class ExperimentRunner:
             "verify": self.verify,
             "quiet": True,  # children are silent; the parent narrates
             "jobs": 1,
+            "checkpoint_dir": self.checkpoint_dir,
+            "use_checkpoints": self.use_checkpoints,
         }
         total, done = len(pending), 0
         started = time.perf_counter()
@@ -193,12 +220,24 @@ class ExperimentRunner:
                   f"({self.max_instructions} insts)", flush=True)
         if self.verify:
             config = dataclasses.replace(config, verify_commits=True)
-        core = OutOfOrderCore(config, spec.program())
-        core.skip(spec.skip_instructions)
+        program = self._program(spec)
+        core = OutOfOrderCore(config, program)
+        if self.checkpoints is not None:
+            core.restore_warm(
+                self.checkpoints.get(program, spec.skip_instructions))
+        else:
+            core.skip(spec.skip_instructions)
         stats = core.run(max_cycles=self.max_cycles,
                          max_instructions=self.max_instructions)
         stats.workload_name = workload
         return stats
+
+    def _program(self, spec: WorkloadSpec) -> Program:
+        """Assemble *spec* once per process (programs are immutable)."""
+        program = self._program_cache.get(spec.name)
+        if program is None:
+            program = self._program_cache[spec.name] = spec.program()
+        return program
 
     def _effective_jobs(self, jobs: Optional[int]) -> int:
         if jobs is None:
@@ -214,10 +253,19 @@ class ExperimentRunner:
                        window: int = 60_000,
                        producer_distance: int = 50) -> ReusabilityAnalyzer:
         """Functional-simulation limit study (Figures 8-10). Not cached:
-        it is much cheaper than a timing run."""
+        it is much cheaper than a timing run.  The warm-up (which
+        dominates: skip + warmup vs a smaller window) restores from the
+        checkpoint store when one is attached."""
         spec = get_workload(workload)
-        sim = FunctionalSimulator(spec.program())
-        sim.skip(spec.skip_instructions + warmup)
+        program = self._program(spec)
+        sim = FunctionalSimulator(program)
+        total_skip = spec.skip_instructions + warmup
+        if self.checkpoints is not None:
+            warm = self.checkpoints.get(program, total_skip)
+            sim.restore(warm)
+            sim.skip(total_skip - warm.executed)
+        else:
+            sim.skip(total_skip)
         analyzer = ReusabilityAnalyzer(producer_distance=producer_distance)
         for outcome in sim.stream(window):
             analyzer.observe(outcome)

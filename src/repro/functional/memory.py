@@ -82,6 +82,19 @@ class Memory:
                         for number, page in self._pages.items()}
         return clone
 
+    def snapshot_pages(self) -> Dict[int, bytes]:
+        """Immutable page map for warm-state capture (page number -> bytes)."""
+        return {number: bytes(page)
+                for number, page in self._pages.items()}
+
+    @classmethod
+    def from_pages(cls, pages: Dict[int, bytes]) -> "Memory":
+        """Rebuild a memory from a :meth:`snapshot_pages` map."""
+        memory = cls()
+        memory._pages = {number: bytearray(page)
+                         for number, page in pages.items()}
+        return memory
+
     def touched_pages(self) -> Iterable[int]:
         """Page numbers that have been written (for tests/inspection)."""
         return self._pages.keys()

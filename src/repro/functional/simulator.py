@@ -179,11 +179,23 @@ class FunctionalSimulator:
     the ground truth in differential tests of the timing core.
     """
 
-    def __init__(self, program: Program):
+    def __init__(self, program: Program, compiled: bool = True):
         self.program = program
         self.state = ArchState(program)
         self.halted = False
         self.instructions_retired = 0
+        # Decode-time compiled closures (see repro.functional.compiled);
+        # pass compiled=False for the reference interpreted stepper the
+        # differential tests compare against.  Imported lazily: compiled
+        # itself imports ExecOutcome from this module.
+        if compiled:
+            from .compiled import CompiledProgram, HALT
+            self._compiled: Optional["CompiledProgram"] = \
+                CompiledProgram(program)
+            self._halt_sentinel = HALT
+        else:
+            self._compiled = None
+            self._halt_sentinel = None
 
     @property
     def pc(self) -> int:
@@ -193,26 +205,82 @@ class FunctionalSimulator:
         """Execute one instruction; raises on bad PCs, sets ``halted``."""
         if self.halted:
             raise SimulationError("stepping a halted simulator")
-        inst = self.program.fetch(self.state.pc)
-        if inst is None:
-            raise SimulationError(f"no instruction at pc={self.state.pc:#x}")
-        outcome = execute(inst, self.state)
-        if inst.opcode.is_halt:
-            self.halted = True
-            outcome.next_pc = inst.pc
-        self.state.pc = outcome.next_pc
+        state = self.state
+        if self._compiled is not None:
+            entry = self._compiled.exec_entry(state.pc)
+            if entry is None:
+                raise SimulationError(f"no instruction at pc={state.pc:#x}")
+            fn, is_halt = entry
+            outcome = fn(state)
+            if is_halt:
+                self.halted = True
+                outcome.next_pc = outcome.inst.pc
+        else:
+            inst = self.program.fetch(state.pc)
+            if inst is None:
+                raise SimulationError(f"no instruction at pc={state.pc:#x}")
+            outcome = execute(inst, state)
+            if inst.opcode.is_halt:
+                self.halted = True
+                outcome.next_pc = inst.pc
+        state.pc = outcome.next_pc
         self.instructions_retired += 1
         return outcome
 
     def run(self, max_instructions: Optional[int] = None) -> int:
         """Run until halt or *max_instructions*; returns instructions run."""
+        if self._compiled is None:
+            executed = 0
+            while not self.halted:
+                if max_instructions is not None \
+                        and executed >= max_instructions:
+                    break
+                self.step()
+                executed += 1
+            return executed
+        # Compiled fast-forward lane: no ExecOutcome allocation at all.
+        # State mutations are identical to the interpreted loop (pinned
+        # by tests/functional/test_compiled.py); like step(), an executed
+        # halt counts and leaves the PC on the halt instruction.
+        state = self.state
+        ff_entry = self._compiled.ff_entry
+        halt = self._halt_sentinel
+        pc = state.pc
         executed = 0
-        while not self.halted:
-            if max_instructions is not None and executed >= max_instructions:
-                break
-            self.step()
-            executed += 1
+        try:
+            while not self.halted:
+                if max_instructions is not None \
+                        and executed >= max_instructions:
+                    break
+                fn = ff_entry(pc)
+                if fn is None:
+                    raise SimulationError(f"no instruction at pc={pc:#x}")
+                if fn is halt:
+                    self.halted = True
+                    executed += 1
+                    break
+                pc = fn(state)
+                executed += 1
+        finally:  # keep state coherent even on a bad-PC error
+            state.pc = pc
+            self.instructions_retired += executed
         return executed
+
+    def restore(self, warm) -> None:
+        """Adopt a captured warm state (see ``functional.checkpoint``).
+
+        After this the simulator is indistinguishable from one that just
+        executed ``warm.executed`` instructions from reset: the PC sits on
+        the next unexecuted instruction (the halt itself when the warm-up
+        stopped in front of one), so a following :meth:`run`/:meth:`skip`
+        continues exactly like the cold run would.
+        """
+        state = self.state
+        state.regs = list(warm.regs)
+        state.memory = warm.make_memory()
+        state.pc = warm.pc
+        self.halted = False
+        self.instructions_retired = warm.executed
 
     def stream(self, max_instructions: Optional[int] = None
                ) -> Iterator[ExecOutcome]:

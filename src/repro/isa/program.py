@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -48,3 +50,30 @@ class Program:
         if not self.instructions:
             return self.entry_point
         return max(self.instructions) + INSTRUCTION_BYTES
+
+    def canonical_digest(self) -> str:
+        """SHA-256 over the semantic content of the program.
+
+        Covers exactly what execution can observe — entry point, every
+        decoded instruction field, and the initial data image — in a
+        fixed traversal order, so the digest is stable across processes
+        and assembler runs.  Labels, comments and other source text that
+        assembles to the same image hash identically; any semantic edit
+        changes the digest.  The warm-state checkpoint store keys on
+        this (see :mod:`repro.functional.checkpoint`).
+        """
+        hasher = hashlib.sha256()
+        pack = struct.pack
+        hasher.update(pack("<II", self.entry_point,
+                           len(self.instructions)))
+        for pc in sorted(self.instructions):
+            inst = self.instructions[pc]
+            name = inst.opcode.name.encode()
+            hasher.update(pack("<IB", pc, len(name)))
+            hasher.update(name)
+            hasher.update(pack("<iiiiI", inst.rd, inst.rs, inst.rt,
+                               inst.imm, inst.target & 0xFFFFFFFF))
+        hasher.update(pack("<I", len(self.data)))
+        for address in sorted(self.data):
+            hasher.update(pack("<IB", address, self.data[address] & 0xFF))
+        return hasher.hexdigest()

@@ -39,13 +39,8 @@ from collections import deque
 from operator import attrgetter
 from typing import Deque, Dict, List, Optional, Tuple
 
-from ..functional.simulator import (
-    ExecOutcome,
-    FunctionalSimulator,
-    SimulationError,
-    execute,
-)
-from ..isa.instruction import Instruction
+from ..functional.compiled import CompiledProgram, HALT
+from ..functional.simulator import FunctionalSimulator, SimulationError
 from ..isa.opcodes import (
     OpClass,
     REG_FCC,
@@ -187,20 +182,46 @@ class OutOfOrderCore:
         """
         if self.cycle or self.rob:
             raise SimulationError("skip() must precede timing simulation")
+        # Fast-forward closures mutate the speculative state exactly like
+        # the interpreted loop did, but with no ExecOutcome allocation;
+        # like before, the halt is left unexecuted for the front end.
+        compiled = CompiledProgram(self.program)
+        ff_entry = compiled.ff_entry
+        spec = self.spec
         pc = self.program.entry_point
         executed = 0
         while executed < instructions:
-            inst = self.program.fetch(pc)
-            if inst is None:
+            fn = ff_entry(pc)
+            if fn is None:
                 raise SimulationError(f"skip ran off program at {pc:#x}")
-            if inst.opcode.is_halt:
+            if fn is HALT:
                 break
-            outcome = execute(inst, self.spec)
-            pc = outcome.next_pc
+            pc = fn(spec)
             executed += 1
         self.fetch_unit.fetch_pc = pc
         if self.oracle is not None:
             self.oracle.skip(executed)
+
+    def restore_warm(self, warm) -> None:
+        """Adopt a warm-state checkpoint in place of :meth:`skip`.
+
+        *warm* must come from :func:`repro.functional.checkpoint.capture`
+        over the same program with the intended skip count (the store's
+        content addressing guarantees this).  Afterwards the core is
+        indistinguishable from one that just ran ``skip(warm.skip)``
+        cold: speculative state holds the warm image, fetch starts at the
+        first unexecuted instruction (the halt itself when the warm-up
+        ran into one — the front end dispatches it, exactly like the
+        cold path), and the commit-verify oracle sits at the same point.
+        """
+        if self.cycle or self.rob:
+            raise SimulationError(
+                "restore_warm() must precede timing simulation")
+        self.spec.regs = list(warm.regs)
+        self.spec.memory = warm.make_memory()
+        self.fetch_unit.fetch_pc = warm.pc
+        if self.oracle is not None:
+            self.oracle.restore(warm)
 
     def step(self) -> None:
         """Advance one cycle (reverse pipeline order)."""
@@ -397,10 +418,9 @@ class OutOfOrderCore:
 
     def _dispatch_one(self, fetched: FetchedInst) -> InflightOp:
         meta = fetched.op
-        inst = meta.inst
         regs = self.spec.regs
         src_values = {reg: regs[reg] for reg in meta.src_regs}
-        outcome = execute(inst, self.spec)
+        outcome = meta.exec_fn(self.spec)
         self.seq += 1
         op = InflightOp(self.seq, meta, outcome, self.cycle)
         op.src_values = src_values

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..functional.compiled import compile_exec
 from ..isa.instruction import Instruction
 from ..isa.opcodes import Format, OpClass, REG_FCC, REG_HI, REG_LO
 from ..isa.program import Program
@@ -44,7 +45,7 @@ class StaticOp:
     __slots__ = (
         "inst", "opcode", "pc", "next_pc",
         "op_class", "op_class_index", "latency", "issue_interval",
-        "eval_fn",
+        "eval_fn", "exec_fn",
         "rd", "rs", "rt", "imm", "target",
         "src_regs", "dest_regs", "has_dest",
         "is_branch", "is_jump", "is_indirect", "is_call", "is_return",
@@ -68,6 +69,9 @@ class StaticOp:
         self.latency = opcode.latency
         self.issue_interval = opcode.issue_interval
         self.eval_fn = opcode.eval_fn
+        # Compiled execution semantics: one specialized closure per static
+        # instruction, applied to the speculative state at dispatch.
+        self.exec_fn = compile_exec(inst)
 
         self.rd = inst.rd
         self.rs = inst.rs

@@ -1,0 +1,5 @@
+"""Infrastructure shared across layers (locks, atomic file helpers)."""
+
+from .locking import FileLock
+
+__all__ = ["FileLock"]

@@ -124,6 +124,64 @@ class TestSerialParallelEquivalence:
             assert stats.committed > 0
 
 
+class TestCheckpointStoreConcurrency:
+    """The warm-state checkpoint store is a pure optimisation under
+    parallelism: a ``jobs=N`` sweep starting from an *empty* shared
+    store must leave a results/ cache byte-identical to the serial
+    run's, and the captured ``.warm`` files themselves must be
+    byte-identical regardless of which worker won the capture race."""
+
+    def _warm_files(self, cache_dir):
+        return sorted((cache_dir / "checkpoints").glob("*.warm"))
+
+    def test_parallel_sweep_from_empty_store_matches_serial(self, tmp_path):
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        make_runner(serial_dir, jobs=1).run_many(sweep_pairs())
+        make_runner(parallel_dir, jobs=4).run_many(sweep_pairs())
+
+        serial_files = sorted(p.name for p in serial_dir.glob("*.json"))
+        assert serial_files \
+            == sorted(p.name for p in parallel_dir.glob("*.json"))
+        assert serial_files
+        for name in serial_files:
+            assert (serial_dir / name).read_bytes() \
+                == (parallel_dir / name).read_bytes(), \
+                f"cache entry {name} differs between serial and parallel"
+
+        serial_warm = self._warm_files(serial_dir)
+        parallel_warm = self._warm_files(parallel_dir)
+        assert [p.name for p in serial_warm] \
+            == [p.name for p in parallel_warm]
+        assert serial_warm  # the sweep actually captured warm states
+        for ours, theirs in zip(serial_warm, parallel_warm):
+            assert ours.read_bytes() == theirs.read_bytes(), \
+                f"checkpoint {ours.name} differs between serial and parallel"
+
+    def test_checkpoints_disabled_produces_identical_cache(self, tmp_path):
+        warm = make_runner(tmp_path / "warm", jobs=1).run_many(sweep_pairs())
+        cold = make_runner(tmp_path / "cold", jobs=1,
+                           use_checkpoints=False).run_many(sweep_pairs())
+        assert not self._warm_files(tmp_path / "cold")
+        assert set(warm) == set(cold)
+        for key in warm:
+            diff = warm[key].diff(cold[key])
+            assert not diff, f"{key} diverged with checkpoints off: {diff}"
+
+    def test_populated_store_is_reused_not_rewritten(self, tmp_path):
+        make_runner(tmp_path, jobs=2).run_many(sweep_pairs())
+        stamps = {p.name: p.stat().st_mtime_ns
+                  for p in self._warm_files(tmp_path)}
+        assert stamps
+        # Fresh runner + empty result cache: the simulations rerun, but
+        # every warm-up must come from the store.
+        for entry in tmp_path.glob("*.json"):
+            entry.unlink()
+        make_runner(tmp_path, jobs=2).run_many(sweep_pairs())
+        assert {p.name: p.stat().st_mtime_ns
+                for p in self._warm_files(tmp_path)} == stamps
+
+
 DETERMINISM_SCRIPT = """\
 import sys
 from repro.experiments import ExperimentRunner

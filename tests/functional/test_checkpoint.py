@@ -1,0 +1,162 @@
+"""Warm-state checkpoint store: format, content addressing, corruption.
+
+The store is a pure cache: every test here enforces some facet of
+"never trusted over recomputation" — a checkpoint may be missing,
+truncated, or bit-flipped at any time and the only observable effect is
+a re-executed warm-up, never a wrong state.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.functional import checkpoint as cp
+from repro.functional.checkpoint import (
+    CheckpointStore,
+    WarmState,
+    capture,
+    deserialize,
+    serialize,
+    warm_key,
+)
+from repro.functional.simulator import FunctionalSimulator
+from repro.isa import assemble
+from repro.workloads import get_workload
+
+SKIP = 5_000
+
+
+@pytest.fixture(scope="module")
+def program():
+    return get_workload("compress").program()
+
+
+def _assert_states_equal(a: WarmState, b: WarmState):
+    assert a.regs == b.regs
+    assert a.pages == b.pages
+    assert (a.pc, a.executed, a.skip, a.hit_halt) \
+        == (b.pc, b.executed, b.skip, b.hit_halt)
+
+
+def test_capture_matches_cold_skip(program):
+    warm = capture(program, SKIP)
+    assert warm.executed == SKIP and not warm.hit_halt
+    cold = FunctionalSimulator(program)
+    cold.skip(SKIP)
+    assert warm.regs == cold.state.regs
+    assert warm.pc == cold.state.pc
+    assert warm.make_memory().snapshot_pages() \
+        == cold.state.memory.snapshot_pages()
+
+
+def test_capture_stops_in_front_of_halt():
+    program = assemble("""
+main:
+        li $t0, 7
+        addi $t0, $t0, 1
+        halt
+""")
+    warm = capture(program, 100)
+    assert warm.hit_halt and warm.executed == 2
+    # A restored functional simulator executes the halt as its next step,
+    # exactly like the cold skip does.
+    restored = FunctionalSimulator(program)
+    restored.restore(warm)
+    cold = FunctionalSimulator(program)
+    assert restored.skip(100 - warm.executed) == 1
+    cold.skip(100)
+    assert restored.halted and cold.halted
+    assert restored.instructions_retired == cold.instructions_retired
+    assert restored.state.regs == cold.state.regs
+
+
+def test_serialize_roundtrip(program):
+    warm = capture(program, SKIP)
+    _assert_states_equal(deserialize(serialize(warm)), warm)
+
+
+def test_serialized_bytes_are_deterministic(program):
+    assert serialize(capture(program, SKIP)) \
+        == serialize(capture(program, SKIP))
+
+
+def test_warm_key_content_addressing(program):
+    key = warm_key(program, SKIP)
+    assert key == warm_key(program, SKIP)
+    assert key != warm_key(program, SKIP + 1)
+    assert key != warm_key(get_workload("go").program(), SKIP)
+    edited = dataclasses.replace(program)
+    edited.data = dict(program.data)
+    address = next(iter(edited.data))
+    edited.data[address] ^= 1
+    assert key != warm_key(edited, SKIP)
+
+
+def test_store_persists_and_reloads(tmp_path, program, monkeypatch):
+    store = CheckpointStore(tmp_path)
+    warm = store.get(program, SKIP)
+    files = list(tmp_path.glob("*.warm"))
+    assert len(files) == 1
+    # A fresh store instance must load from disk, not recapture.
+    reloaded_store = CheckpointStore(tmp_path)
+    monkeypatch.setattr(cp, "capture", _refuse_capture)
+    _assert_states_equal(reloaded_store.get(program, SKIP), warm)
+    # Within one store the state is memoized (no second disk read).
+    assert store.get(program, SKIP) is warm
+
+
+def _refuse_capture(program, skip):
+    raise AssertionError("capture() called although a checkpoint exists")
+
+
+def test_memory_only_store_shares_within_process(program):
+    store = CheckpointStore(None)
+    assert store.get(program, SKIP) is store.get(program, SKIP)
+
+
+@pytest.mark.parametrize("corruption", ["truncate", "bitflip", "garbage"])
+def test_corrupt_checkpoint_discarded_and_regenerated(
+        tmp_path, program, corruption):
+    store = CheckpointStore(tmp_path)
+    pristine = store.get(program, SKIP)
+    path = next(tmp_path.glob("*.warm"))
+    blob = bytearray(path.read_bytes())
+    if corruption == "truncate":
+        blob = blob[:len(blob) // 2]
+    elif corruption == "bitflip":
+        blob[len(blob) // 2] ^= 0x40
+    else:
+        blob = bytearray(b"not a checkpoint at all")
+    path.write_bytes(bytes(blob))
+
+    fresh = CheckpointStore(tmp_path)
+    regenerated = fresh.get(program, SKIP)
+    _assert_states_equal(regenerated, pristine)
+    # The corrupt file was replaced by a valid one.
+    _assert_states_equal(deserialize(path.read_bytes()), pristine)
+
+
+def test_version_bump_orphans_old_files(tmp_path, program, monkeypatch):
+    store = CheckpointStore(tmp_path)
+    store.get(program, SKIP)
+    monkeypatch.setattr(cp, "STATE_FORMAT_VERSION",
+                        cp.STATE_FORMAT_VERSION + 1)
+    assert warm_key(program, SKIP) not in {p.stem
+                                           for p in tmp_path.glob("*.warm")}
+    fresh = CheckpointStore(tmp_path).get(program, SKIP)
+    _assert_states_equal(fresh, capture(program, SKIP))
+
+
+def test_restored_timing_core_matches_cold(program):
+    from repro.uarch.config import hybrid_config
+    from repro.uarch.core import OutOfOrderCore
+
+    spec_skip = get_workload("compress").skip_instructions
+    cold = OutOfOrderCore(hybrid_config(), program)
+    cold.skip(spec_skip)
+    cold_stats = cold.run(max_cycles=100_000, max_instructions=2_000)
+
+    warm_core = OutOfOrderCore(hybrid_config(), program)
+    warm_core.restore_warm(capture(program, spec_skip))
+    warm_stats = warm_core.run(max_cycles=100_000, max_instructions=2_000)
+    assert warm_stats.canonical_json() == cold_stats.canonical_json()

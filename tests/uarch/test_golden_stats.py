@@ -94,6 +94,35 @@ def test_golden_stats(workload, config_key, regen):
             f"{path.name}: stats diverged from the golden corpus: {diff}")
 
 
+@pytest.fixture(scope="session")
+def warm_store(tmp_path_factory):
+    """One on-disk checkpoint store shared by every warm-restore case."""
+    from repro.functional.checkpoint import CheckpointStore
+    return CheckpointStore(tmp_path_factory.mktemp("checkpoints"))
+
+
+@pytest.mark.parametrize("workload,config_key", CASES)
+def test_golden_stats_from_checkpoint(workload, config_key, regen,
+                                      warm_store):
+    """Checkpoint-restored runs are byte-identical to cold-start runs.
+
+    This is the contract that makes the warm-state store a pure
+    optimisation: for every golden (workload x config) pair, restoring
+    the captured warm state must reproduce the committed stats exactly
+    (same bytes the cold ``core.skip`` path produced).
+    """
+    if regen:
+        pytest.skip("corpus regeneration uses the cold path only")
+    spec = get_workload(workload)
+    program = spec.program("ref")
+    core = OutOfOrderCore(CONFIG_FACTORIES[config_key](), program)
+    core.restore_warm(warm_store.get(program, spec.skip_instructions))
+    stats = core.run(max_cycles=MAX_CYCLES, max_instructions=INSTRUCTIONS)
+    stats.workload_name = workload
+    golden = golden_path(workload, config_key).read_text()
+    assert stats.canonical_json() + "\n" == golden
+
+
 def test_corpus_has_no_orphans():
     """Every committed golden file corresponds to a live corpus case."""
     expected = {golden_path(w, k).name for w, k in CASES}
