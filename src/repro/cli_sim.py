@@ -77,6 +77,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", action="store_true",
                         help="print per-phase wallclock profile and "
                              "event-queue counters after each run")
+    parser.add_argument("--telemetry-out", type=Path, default=None,
+                        metavar="FILE",
+                        help="write an interval time-series per config "
+                             "(.jsonl or .csv by suffix; multiple "
+                             "configs insert the config name before "
+                             "the suffix)")
+    parser.add_argument("--telemetry-interval", type=int, default=None,
+                        metavar="CYCLES",
+                        help="sampling period of --telemetry-out "
+                             "(default 500 cycles)")
+    parser.add_argument("--trace-out", type=Path, default=None,
+                        metavar="FILE",
+                        help="write the structured event trace per "
+                             "config (JSONL; inspect with repro-trace)")
+    parser.add_argument("--trace-buffer", type=int, default=None,
+                        metavar="N",
+                        help="event ring-buffer capacity for "
+                             "--trace-out (default 65536; oldest "
+                             "events drop first)")
     parser.add_argument("--checkpoint-dir", type=Path, default=None,
                         help="persist warm-state checkpoints here so "
                              "later invocations skip the warm-up "
@@ -86,6 +105,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="re-execute the warm-up skip for every "
                              "configuration")
     return parser
+
+
+def _per_config_path(path: Path, config_name: str,
+                     many: bool) -> Path:
+    """``out.jsonl`` -> ``out.<config>.jsonl`` when several configs run."""
+    if not many:
+        return path
+    return path.with_name(f"{path.stem}.{config_name}{path.suffix}")
 
 
 def _load_program(args):
@@ -127,12 +154,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             import dataclasses
             config = dataclasses.replace(config, verify_commits=True)
         core = OutOfOrderCore(config, program)
+        if args.workload:
+            # Display-only (telemetry context, stats header); cached
+            # result bytes never pass through this path.
+            core.stats.workload_name = args.workload
         breakdown = ClassBreakdown(core) if args.breakdown else None
         tracer = None
         if args.trace:
             tracer = PipelineTracer(core, limit=args.trace,
                                     start_cycle=200)
         profile = core.enable_profiling() if args.profile else None
+        sink = None
+        if args.telemetry_out or args.trace_out:
+            sink = core.enable_telemetry(
+                interval=args.telemetry_interval,
+                trace_capacity=args.trace_buffer,
+                events=args.trace_out is not None)
         if checkpoints is not None:
             core.restore_warm(checkpoints.get(program, skip))
         else:
@@ -154,6 +191,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                           + tracer.render())
         if profile is not None:
             extras.append(f"Profile: {config.name}\n" + profile.report())
+        if sink is not None:
+            many = len(args.config) > 1
+            if args.telemetry_out:
+                out = _per_config_path(args.telemetry_out, config.name,
+                                       many)
+                sink.write_timeseries(out)
+                extras.append(f"telemetry: {len(sink.series)} interval "
+                              f"rows -> {out}")
+            if args.trace_out:
+                out = _per_config_path(args.trace_out, config.name, many)
+                sink.write_trace(out, program=label)
+                trace = sink.trace
+                extras.append(f"trace: {len(trace)} events kept "
+                              f"({trace.dropped} dropped) -> {out}")
     for extra in extras:
         print()
         print(extra.render() if hasattr(extra, "render") else extra)

@@ -112,6 +112,23 @@ def build_parser() -> argparse.ArgumentParser:
                              "1 = serial)")
     parser.add_argument("--no-cache", action="store_true",
                         help="do not read or write the results/ cache")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="result-cache directory (default: the "
+                             "repository's results/; run manifests go "
+                             "to its manifests/ subdirectory)")
+    parser.add_argument("--telemetry-dir", type=Path, default=None,
+                        help="capture a per-run interval time-series "
+                             "for every *simulated* pair into this "
+                             "directory (cache keys are unchanged, so "
+                             "cached results stay valid; see "
+                             "docs/telemetry.md)")
+    parser.add_argument("--telemetry-interval", type=int, default=None,
+                        metavar="CYCLES",
+                        help="sampling period for --telemetry-dir "
+                             "(default 500 cycles)")
+    parser.add_argument("--no-manifests", action="store_true",
+                        help="do not write per-run/per-sweep provenance "
+                             "manifests")
     parser.add_argument("--checkpoint-dir", type=Path, default=None,
                         help="warm-state checkpoint store directory "
                              "(default: <cache>/checkpoints; see "
@@ -135,10 +152,18 @@ def main(argv: List[str] | None = None) -> int:
                  "jobs": args.jobs}
     if args.no_cache:
         overrides["cache_dir"] = None
+    if args.cache_dir is not None:
+        overrides["cache_dir"] = args.cache_dir
     if args.checkpoint_dir is not None:
         overrides["checkpoint_dir"] = args.checkpoint_dir
     if args.no_checkpoint:
         overrides["use_checkpoints"] = False
+    if args.telemetry_dir is not None:
+        overrides["telemetry_dir"] = args.telemetry_dir
+    if args.telemetry_interval is not None:
+        overrides["telemetry_interval"] = args.telemetry_interval
+    if args.no_manifests:
+        overrides["manifests"] = False
     runner = default_runner(**overrides)
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]

@@ -92,7 +92,11 @@ class ExperimentRunner:
                  jobs: Optional[int] = None,
                  mp_start_method: Optional[str] = None,
                  checkpoint_dir: Optional[Path] = None,
-                 use_checkpoints: bool = True):
+                 use_checkpoints: bool = True,
+                 manifests: bool = True,
+                 manifest_dir: Optional[Path] = None,
+                 telemetry_dir: Optional[Path] = None,
+                 telemetry_interval: Optional[int] = None):
         self.max_instructions = max_instructions
         self.max_cycles = max_cycles
         self.cache_dir = Path(cache_dir) if cache_dir else None
@@ -100,6 +104,22 @@ class ExperimentRunner:
         self.quiet = quiet
         self.jobs = jobs
         self.mp_start_method = mp_start_method
+        # Run manifests (repro.telemetry.manifest): provenance records
+        # for every simulated pair and every sweep.  They live in a
+        # subdirectory of the result cache — the determinism contract
+        # covers the top-level *.json result bytes only, and manifests
+        # carry wallclock/host facts that legitimately differ between
+        # byte-identical sweeps.
+        if manifest_dir is None and manifests and self.cache_dir is not None:
+            manifest_dir = self.cache_dir / "manifests"
+        self.manifest_dir = Path(manifest_dir) if manifests and manifest_dir \
+            else None
+        # Optional per-run interval telemetry: uncached runs attach a
+        # TelemetrySink (interval collector only; no event ring buffer)
+        # and write <cache key>.jsonl here.  Cache keys are unchanged, so
+        # capturing telemetry never invalidates existing results.
+        self.telemetry_dir = Path(telemetry_dir) if telemetry_dir else None
+        self.telemetry_interval = telemetry_interval
         # Warm-state checkpoints (repro.functional.checkpoint): every
         # configuration of a workload shares one warm-up.  The store
         # defaults to a subdirectory of the result cache so sweeps from
@@ -130,8 +150,12 @@ class ExperimentRunner:
             cached = self._load(key)
             if cached is not None:
                 return cached
-            stats = self._simulate(spec, workload, config)
+            started = time.perf_counter()
+            stats = self._simulate(spec, workload, config, key=key)
+            elapsed = time.perf_counter() - started
             self._store(key, stats)
+            self._write_run_manifest(key, spec, workload, config, stats,
+                                     cache_hit=False, wallclock=elapsed)
         return stats
 
     def run_many(self, pairs: Iterable[Pair],
@@ -146,6 +170,7 @@ class ExperimentRunner:
         """
         pairs = list(pairs)
         jobs = self._effective_jobs(jobs)
+        sweep_started = time.perf_counter()
         unique: Dict[str, Pair] = {}
         for workload, config in pairs:
             key = self._key(get_workload(workload), config)
@@ -153,16 +178,21 @@ class ExperimentRunner:
 
         results: Dict[Tuple[str, str], SimStats] = {}
         pending: List[Tuple[str, str, MachineConfig]] = []
+        cached_keys: List[str] = []
         for key, (workload, config) in unique.items():
             cached = self._load(key)
             if cached is not None:
                 results[(workload, config.name)] = cached
+                cached_keys.append(key)
             else:
                 pending.append((key, workload, config))
 
         if len(pending) <= 1 or jobs <= 1:
             for _, workload, config in pending:
                 results[(workload, config.name)] = self.run(workload, config)
+            self._finish_sweep(unique, results, cached_keys,
+                               simulated=len(pending), jobs=1,
+                               started=sweep_started)
             return results
 
         ctx = multiprocessing.get_context(self.mp_start_method)
@@ -175,6 +205,10 @@ class ExperimentRunner:
             "jobs": 1,
             "checkpoint_dir": self.checkpoint_dir,
             "use_checkpoints": self.use_checkpoints,
+            "manifests": self.manifest_dir is not None,
+            "manifest_dir": self.manifest_dir,
+            "telemetry_dir": self.telemetry_dir,
+            "telemetry_interval": self.telemetry_interval,
         }
         total, done = len(pending), 0
         started = time.perf_counter()
@@ -197,7 +231,66 @@ class ExperimentRunner:
         # Adopt the children's results into this process's memory cache.
         for key, workload, config in pending:
             self._memory_cache[key] = results[(workload, config.name)]
+        self._finish_sweep(unique, results, cached_keys,
+                           simulated=len(pending),
+                           jobs=min(jobs, total), started=sweep_started)
         return results
+
+    def _finish_sweep(self, unique: Dict[str, Pair],
+                      results: Dict[Tuple[str, str], SimStats],
+                      cached_keys: List[str], simulated: int, jobs: int,
+                      started: float) -> None:
+        """Manifest bookkeeping at the end of one :meth:`run_many`.
+
+        Backfills ``cache_hit=True`` run manifests for pairs that were
+        served from a cache populated before manifests existed, then
+        writes the sweep manifest.  No-op without a manifest directory.
+        """
+        if self.manifest_dir is None or not unique:
+            return
+        from ..telemetry.manifest import sweep_manifest, write_manifest
+        for key in cached_keys:
+            if (self.manifest_dir / f"{key}.json").exists():
+                continue
+            workload, config = unique[key]
+            self._write_run_manifest(
+                key, get_workload(workload), workload, config,
+                results[(workload, config.name)],
+                cache_hit=True, wallclock=None)
+        manifest = sweep_manifest(
+            run_keys=list(unique),
+            simulated=simulated,
+            cached=len(unique) - simulated,
+            jobs=jobs,
+            wallclock_seconds=time.perf_counter() - started)
+        write_manifest(
+            self.manifest_dir / f"sweep-{manifest['sweep_digest']}.json",
+            manifest)
+
+    def _write_run_manifest(self, key: str, spec: WorkloadSpec,
+                            workload: str, config: MachineConfig,
+                            stats: SimStats, *, cache_hit: bool,
+                            wallclock: Optional[float]) -> None:
+        if self.manifest_dir is None:
+            return
+        from ..telemetry.manifest import run_manifest, write_manifest
+        if cache_hit or self.checkpoints is None:
+            checkpoint = "disabled" if self.checkpoints is None else "cached"
+        else:
+            checkpoint = self.checkpoints.last_source or "disabled"
+        manifest = run_manifest(
+            cache_key=key,
+            workload=workload,
+            config=config,
+            program_digest=self._program(spec).canonical_digest(),
+            source_sha12=self._source_sha(spec),
+            max_instructions=self.max_instructions,
+            max_cycles=self.max_cycles,
+            cache_hit=cache_hit,
+            checkpoint=checkpoint,
+            wallclock_seconds=wallclock,
+            stats=stats)
+        write_manifest(self.manifest_dir / f"{key}.json", manifest)
 
     def run_workloads(self, config: MachineConfig,
                       workloads: Optional[Iterable[str]] = None,
@@ -213,7 +306,8 @@ class ExperimentRunner:
         self.run_many(pairs, jobs=jobs)
 
     def _simulate(self, spec: WorkloadSpec, workload: str,
-                  config: MachineConfig) -> SimStats:
+                  config: MachineConfig,
+                  key: Optional[str] = None) -> SimStats:
         from ..uarch.core import OutOfOrderCore
         if not self.quiet:
             print(f"[run] {workload} / {config.name} "
@@ -222,6 +316,15 @@ class ExperimentRunner:
             config = dataclasses.replace(config, verify_commits=True)
         program = self._program(spec)
         core = OutOfOrderCore(config, program)
+        # Set the workload name up front so the telemetry context block
+        # sees it; the statistics are identical either way.
+        core.stats.workload_name = workload
+        sink = None
+        if self.telemetry_dir is not None:
+            # Interval collector only: the event ring buffer is for
+            # interactive runs (repro-sim --trace-out), not bulk sweeps.
+            sink = core.enable_telemetry(
+                interval=self.telemetry_interval, events=False)
         if self.checkpoints is not None:
             core.restore_warm(
                 self.checkpoints.get(program, spec.skip_instructions))
@@ -229,7 +332,13 @@ class ExperimentRunner:
             core.skip(spec.skip_instructions)
         stats = core.run(max_cycles=self.max_cycles,
                          max_instructions=self.max_instructions)
-        stats.workload_name = workload
+        if sink is not None:
+            if key is not None:
+                sink.series.context["cache_key"] = key
+            self.telemetry_dir.mkdir(parents=True, exist_ok=True)
+            name = key if key is not None \
+                else f"{workload}-{config.name}"
+            sink.write_timeseries(self.telemetry_dir / f"{name}.jsonl")
         return stats
 
     def _program(self, spec: WorkloadSpec) -> Program:
@@ -273,10 +382,14 @@ class ExperimentRunner:
 
     # -- caching -------------------------------------------------------------------
 
+    @staticmethod
+    def _source_sha(spec: WorkloadSpec) -> str:
+        return hashlib.sha256(spec.source().encode()).hexdigest()[:12]
+
     def _key(self, spec: WorkloadSpec, config: MachineConfig) -> str:
-        source_hash = hashlib.sha256(spec.source().encode()).hexdigest()[:12]
         return (f"v{CACHE_VERSION}-{spec.name}-{config.name}"
-                f"-i{self.max_instructions}-c{self.max_cycles}-{source_hash}")
+                f"-i{self.max_instructions}-c{self.max_cycles}"
+                f"-{self._source_sha(spec)}")
 
     def _lock(self, key: str):
         if self.cache_dir is None:

@@ -177,6 +177,9 @@ class CheckpointStore:
     def __init__(self, root: Optional[Path] = None):
         self.root = Path(root) if root is not None else None
         self._memo: Dict[str, WarmState] = {}
+        # Where the most recent get() found its state ("memo" / "disk" /
+        # "captured"); recorded in run manifests as warm-up provenance.
+        self.last_source: Optional[str] = None
 
     def get(self, program: Program, skip: int) -> WarmState:
         """The warm state for (program, skip): memoized, loaded, or
@@ -184,13 +187,16 @@ class CheckpointStore:
         key = warm_key(program, skip)
         warm = self._memo.get(key)
         if warm is not None:
+            self.last_source = "memo"
             return warm
         if self.root is None:
             warm = capture(program, skip)
             self._memo[key] = warm
+            self.last_source = "captured"
             return warm
         path = self.root / f"{key}.warm"
         warm = self._read(path)
+        self.last_source = "disk"
         if warm is None:
             with FileLock(path.with_suffix(".lock")):
                 # Another process may have produced it while we waited
@@ -201,6 +207,7 @@ class CheckpointStore:
                         path.unlink()  # corrupt leftover, if any
                     warm = capture(program, skip)
                     self._write(path, warm)
+                    self.last_source = "captured"
         self._memo[key] = warm
         return warm
 

@@ -47,33 +47,53 @@ class CoreProfile:
 
     def as_dict(self) -> Dict[str, object]:
         total = sum(self.phase_seconds.values())
+        wall = time.perf_counter() - self.started_at
+        stepped = self.cycles_stepped
         return {
             "phase_seconds": {name: round(self.phase_seconds[name], 6)
                               for name in PHASES},
+            "phase_share": {name: round(self.phase_seconds[name]
+                                        / (total or 1e-12), 4)
+                            for name in PHASES},
             "step_seconds": round(total, 6),
-            "wall_seconds": round(
-                time.perf_counter() - self.started_at, 6),
-            "cycles_stepped": self.cycles_stepped,
+            "wall_seconds": round(wall, 6),
+            "cycles_stepped": stepped,
             "cycles_skipped": self.cycles_skipped,
             "skips": self.skips,
             "events_processed": self.events_processed,
             "issue_queue_scanned": self.issue_queue_scanned,
+            "events_per_stepped_cycle": round(
+                self.events_processed / (stepped or 1), 4),
+            "scans_per_stepped_cycle": round(
+                self.issue_queue_scanned / (stepped or 1), 4),
         }
 
     def report(self) -> str:
-        """Human-readable profile block (``repro-sim --profile``)."""
+        """Human-readable profile block (``repro-sim --profile``).
+
+        Four columns per phase: wallclock seconds, share of the phase
+        total, share of the *whole* wall (includes run() overhead the
+        phase timers never see), and microseconds per stepped cycle.
+        """
         total = sum(self.phase_seconds.values()) or 1e-12
-        lines = ["phase      seconds   share"]
+        wall = (time.perf_counter() - self.started_at) or 1e-12
+        stepped = self.cycles_stepped or 1
+        lines = ["phase      seconds   share   %wall  us/cycle"]
         for name in PHASES:
             seconds = self.phase_seconds[name]
             lines.append(f"{name:<9} {seconds:>8.3f}  "
-                         f"{100 * seconds / total:>5.1f}%")
+                         f"{100 * seconds / total:>5.1f}%  "
+                         f"{100 * seconds / wall:>5.1f}%  "
+                         f"{1e6 * seconds / stepped:>8.2f}")
         simulated = self.cycles_stepped + self.cycles_skipped
         lines.append(f"cycles: {simulated} simulated = "
                      f"{self.cycles_stepped} stepped + "
                      f"{self.cycles_skipped} skipped "
                      f"({self.skips} fast-forwards)")
-        lines.append(f"events processed: {self.events_processed}   "
-                     f"issue-queue entries scanned: "
-                     f"{self.issue_queue_scanned}")
+        lines.append(f"events processed: {self.events_processed} "
+                     f"({self.events_processed / stepped:.2f}/stepped "
+                     f"cycle)   issue-queue entries scanned: "
+                     f"{self.issue_queue_scanned} "
+                     f"({self.issue_queue_scanned / stepped:.2f}/stepped "
+                     f"cycle)")
         return "\n".join(lines)

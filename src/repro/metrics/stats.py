@@ -181,12 +181,22 @@ class SimStats:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "SimStats":
+        """Rebuild from a cached ``as_dict`` payload, tolerantly.
+
+        Only declared dataclass fields are restored; anything else —
+        fields added by a newer writer, derived quantities such as
+        ``ipc`` that a tool may have flattened in — is ignored, so old
+        readers can always load newer caches.  (``hasattr`` is the
+        wrong membership test here: read-only properties pass it and
+        then explode in ``setattr``.)
+        """
+        fields = cls.__dataclass_fields__
         stats = cls()
         for name, value in data.items():
             if name == "exec_count_histogram":
                 stats.exec_count_histogram = {
                     int(k): v for k, v in value.items()}
-            elif hasattr(stats, name):
+            elif name in fields:
                 setattr(stats, name, value)
         return stats
 

@@ -63,6 +63,10 @@ class ReuseEngine:
         self.config = config
         self.stats = stats
         self.buffer = ReuseBuffer(config)
+        # Observation-only sink set by core.enable_telemetry(); when
+        # attached, every reuse test emits a hit/miss event (misses with
+        # a diagnosed reason).  Never influences the decision.
+        self.telemetry = None
 
     # -- eligibility ---------------------------------------------------------------
 
@@ -98,10 +102,53 @@ class ReuseEngine:
             if decision.address and (best is None or not best.address):
                 best = decision
         if best is None or best.entry is None:
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    "reuse_miss", cycle, op.seq, pc,
+                    {"reason": self._explain_miss(op, cycle,
+                                                  store_conflict)})
             return _MISS
         buffer.touch(best.entry)
         self._count_recovery(best.entry)
+        if self.telemetry is not None:
+            self.telemetry.emit("reuse_hit", cycle, op.seq, pc,
+                                {"full": best.full,
+                                 "address": best.address})
         return best
+
+    def _explain_miss(self, op: InflightOp, cycle: int,
+                      store_conflict: StoreConflictFn) -> str:
+        """Why the test failed — a trace-only re-walk of the set.
+
+        Computed only when a telemetry sink is attached, so the hot path
+        pays nothing for it.  The reason is the first matching entry's
+        first failing condition, in test order.
+        """
+        meta = op.meta
+        pc = meta.pc
+        buffer = self.buffer
+        for entry in buffer.sets[(pc >> 2) & buffer.set_mask]:
+            if entry.pc != pc:
+                continue
+            src_values = op.src_values
+            for reg, stored_value in entry.operands:
+                if src_values.get(reg) != stored_value:
+                    return "operand_mismatch"
+                if not self._value_available(op, reg, cycle):
+                    return "operand_unavailable"
+            if meta.is_mem:
+                if entry.address is None:
+                    return "no_address"
+                if op.is_load:
+                    if not entry.result_valid:
+                        return "result_invalid"
+                    if not entry.mem_valid:
+                        return "mem_invalidated"
+                    if store_conflict(op, entry.address,
+                                      entry.mem_bytes):
+                        return "store_conflict"
+            return "unknown"
+        return "no_entry"
 
     def _operands_match(self, op: InflightOp, entry: RBEntry,
                         cycle: int) -> bool:

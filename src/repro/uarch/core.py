@@ -111,6 +111,9 @@ class OutOfOrderCore:
         # statistics are identical either way).
         self.fast_forward = True
         self.profile: Optional[CoreProfile] = None
+        # Observation-only telemetry sink (enable_telemetry); never feeds
+        # a value back, so stats are identical with or without it.
+        self.telemetry = None
 
         self.vp = make_predictor(config.vp) if config.vp.enabled else None
         self.ir: Optional[ReuseEngine] = (
@@ -172,6 +175,8 @@ class OutOfOrderCore:
             if restore_gc:
                 gc.enable()
         self._finalize_stats()
+        if self.telemetry is not None:
+            self.telemetry.finalize(self)
         return self.stats
 
     def skip(self, instructions: int) -> None:
@@ -234,6 +239,8 @@ class OutOfOrderCore:
         self._dispatch()
         self.fetch_unit.step(self.cycle)
         self.stats.cycles = self.cycle
+        if self.telemetry is not None:
+            self.telemetry.on_cycle(self)
 
     def _step_profiled(self) -> None:
         """step() with per-phase wallclock accounting (``--profile``)."""
@@ -247,11 +254,37 @@ class OutOfOrderCore:
         profile.time_phase("fetch",
                            lambda: self.fetch_unit.step(self.cycle))
         self.stats.cycles = self.cycle
+        if self.telemetry is not None:
+            self.telemetry.on_cycle(self)
 
     def enable_profiling(self) -> CoreProfile:
         """Attach (and return) a :class:`CoreProfile` for this run."""
         self.profile = CoreProfile()
         return self.profile
+
+    def enable_telemetry(self, sink=None, *, interval: Optional[int] = None,
+                         trace_capacity: Optional[int] = None,
+                         events: bool = True):
+        """Attach (and return) a telemetry sink for this run.
+
+        Pass a ready :class:`~repro.telemetry.sink.TelemetrySink`, or
+        let this build one from *interval* / *trace_capacity* /
+        *events*.  Off by default; the golden corpus pins the detached
+        core and a transparency test pins statistic byte-identity with
+        the sink attached.
+        """
+        if sink is None:
+            from ..telemetry.sink import TelemetrySink
+            kwargs = {"events": events}
+            if interval is not None:
+                kwargs["interval"] = interval
+            if trace_capacity is not None:
+                kwargs["trace_capacity"] = trace_capacity
+            sink = TelemetrySink(**kwargs)
+        self.telemetry = sink
+        if self.ir is not None:
+            self.ir.telemetry = sink
+        return sink
 
     # ---------------------------------------------------------- fast-forward --
 
@@ -281,6 +314,12 @@ class OutOfOrderCore:
         if self.profile is not None:
             self.profile.cycles_skipped += skipped
             self.profile.skips += 1
+        if self.telemetry is not None:
+            # Flush interval boundaries crossed by the jump.  The skipped
+            # span is provably idle, so the boundary rows carry zero
+            # deltas and the (unchanged) current occupancies — exactly
+            # what stepping through the gap would have sampled.
+            self.telemetry.on_cycle(self)
 
     def _next_activity_cycle(self) -> int:
         """Earliest future cycle at which machine state can change.
@@ -439,6 +478,10 @@ class OutOfOrderCore:
         if meta.is_mem:
             self.lsq.append(op)
 
+        if self.telemetry is not None:
+            self.telemetry.emit("dispatch", self.cycle, op.seq, meta.pc,
+                                {"opcode": meta.opcode.name})
+
         if op.is_control:
             self._dispatch_control(op, fetched)
         if not op.executes:
@@ -513,6 +556,10 @@ class OutOfOrderCore:
                 op.predicted = True
                 op.predicted_value = predicted
                 op.value_ready_cycle = self.cycle
+                if self.telemetry is not None:
+                    self.telemetry.emit(
+                        "vp_predict", self.cycle, op.seq, meta.pc,
+                        {"what": "result", "value": predicted})
         if meta.is_mem:
             predicted_addr = self.vp.predict_address(meta.pc,
                                                      outcome.mem_addr,
@@ -523,6 +570,10 @@ class OutOfOrderCore:
                 op.current_addr = predicted_addr
                 if op.is_store:
                     op.addr_known_cycle = self.cycle  # speculative
+                if self.telemetry is not None:
+                    self.telemetry.emit(
+                        "vp_predict", self.cycle, op.seq, meta.pc,
+                        {"what": "address", "value": predicted_addr})
 
     # -- IR at dispatch --------------------------------------------------------------
 
@@ -771,6 +822,9 @@ class OutOfOrderCore:
                          forwarding: Optional[InflightOp] = None) -> None:
         """Begin executing *op*; for loads the issue logic passes in the
         effective address and forwarding store it already computed."""
+        if self.telemetry is not None:
+            self.telemetry.emit("issue", self.cycle, op.seq, op.meta.pc,
+                                {"reexec": op.exec_count > 0})
         op.issued = True
         op.issue_cycle = self.cycle
         op.reexec_earliest = None
@@ -810,6 +864,10 @@ class OutOfOrderCore:
         op.completed = True
         op.last_completion_cycle = self.cycle
         op.used_values = op.issue_read_values
+        if self.telemetry is not None:
+            self.telemetry.emit("complete", self.cycle, op.seq, op.meta.pc,
+                                {"first": first,
+                                 "executions": op.exec_count})
 
         new_value, new_hi = self._evaluate(op)
         previous = op.current_value
@@ -984,6 +1042,9 @@ class OutOfOrderCore:
     def _schedule_reexec(self, op: InflightOp, earliest: int) -> None:
         if op.squashed:
             return
+        if self.telemetry is not None:
+            self.telemetry.emit("reexec", self.cycle, op.seq, op.meta.pc,
+                                {"earliest": earliest})
         if op.reexec_earliest is None or op.reexec_earliest > earliest:
             op.reexec_earliest = earliest
         op.nonspec_cycle = None
@@ -1159,6 +1220,11 @@ class OutOfOrderCore:
         believed_next = (op.believed_target if op.believed_taken
                          else op.meta.next_pc)
         op.last_resolution_cycle = self.cycle
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "branch_resolve", self.cycle, op.seq, op.meta.pc,
+                {"taken": taken, "target": target, "final": final,
+                 "redirected": actual_next != believed_next})
         if actual_next != believed_next:
             had_path = believed_next is not None
             op.believed_taken = taken
@@ -1178,6 +1244,12 @@ class OutOfOrderCore:
             self.stats.branch_squashes += 1
             if spurious:
                 self.stats.spurious_squashes += 1
+        if self.telemetry is not None:
+            victims = sum(1 for v in self.rob if v.seq > op.seq)
+            self.telemetry.emit(
+                "squash", self.cycle, op.seq, op.meta.pc,
+                {"victims": victims, "spurious": spurious,
+                 "redirect": redirect})
         while self.rob and self.rob[-1].seq > op.seq:
             victim = self.rob.pop()
             victim.squashed = True
@@ -1204,6 +1276,9 @@ class OutOfOrderCore:
             victim.forwarded_from = None
         while self.lsq and self.lsq[-1].squashed:
             self.lsq.pop()
+        if self.telemetry is not None and op.checkpoint is not None:
+            self.telemetry.emit("checkpoint_restore", self.cycle, op.seq,
+                                op.meta.pc, {"redirect": redirect})
         self.spec.restore(op.checkpoint)
         self.rename = dict(op.rename_snapshot)
         self._repair_predictor(op)
@@ -1289,6 +1364,20 @@ class OutOfOrderCore:
             self._verify_commit(op)
         if self.on_commit is not None:
             self.on_commit(op, self.cycle)
+        if self.telemetry is not None:
+            tel = self.telemetry
+            tel.emit("commit", self.cycle, op.seq, meta.pc, {
+                "opcode": meta.opcode.name,
+                "text": tel.disasm(meta),
+                "dispatch": op.dispatch_cycle,
+                "issue": op.issue_cycle,
+                "complete": op.last_completion_cycle,
+                "executions": op.exec_count,
+                "reused": op.reused,
+                "predicted": op.predicted,
+                "correct": (op.predicted_value == outcome.result
+                            if op.predicted else None),
+            })
 
         # Break the producer<->consumer reference cycles: nothing walks a
         # committed op's consumer list again.  The backward `producers`
@@ -1311,6 +1400,13 @@ class OutOfOrderCore:
                 stats.vp_result_predicted += 1
                 if op.predicted_value == outcome.result:
                     stats.vp_result_correct += 1
+                if self.telemetry is not None:
+                    self.telemetry.emit(
+                        "vp_verify", self.cycle, op.seq, meta.pc,
+                        {"what": "result",
+                         "correct": op.predicted_value == outcome.result,
+                         "predicted": op.predicted_value,
+                         "actual": outcome.result})
             self.vp.train_result(meta.pc, outcome.result,
                                  op.predicted_value if op.predicted else None)
         if meta.is_mem:
@@ -1319,6 +1415,13 @@ class OutOfOrderCore:
                 stats.vp_addr_predicted += 1
                 if op.predicted_addr == outcome.mem_addr:
                     stats.vp_addr_correct += 1
+                if self.telemetry is not None:
+                    self.telemetry.emit(
+                        "vp_verify", self.cycle, op.seq, meta.pc,
+                        {"what": "address",
+                         "correct": op.predicted_addr == outcome.mem_addr,
+                         "predicted": op.predicted_addr,
+                         "actual": outcome.mem_addr})
             self.vp.train_address(meta.pc, outcome.mem_addr,
                                   op.predicted_addr if op.addr_predicted
                                   else None)

@@ -53,6 +53,10 @@ class FetchUnit:
         self.stall_until = 0  # I-cache miss in progress
         self.blocked = False  # unknown next PC (unpredicted indirect/halt)
         self.fetched = 0
+        # Stepped cycles in which fetch could not proceed at all (blocked
+        # on a redirect or inside an I-cache miss).  Telemetry-only: not
+        # part of SimStats, so golden byte-identity is untouched.
+        self.stall_cycles = 0
 
     def redirect(self, target: int, cycle: int) -> None:
         """Squash recovery: restart fetch at *target* next cycle."""
@@ -67,6 +71,7 @@ class FetchUnit:
     def step(self, cycle: int) -> int:
         """Fetch up to ``fetch_width`` instructions; returns how many."""
         if self.blocked or cycle < self.stall_until:
+            self.stall_cycles += 1
             return 0
         fetched = 0
         line_shift = self.icache.line_shift

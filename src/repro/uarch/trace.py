@@ -7,6 +7,13 @@ for every committed instruction, the cycles at which it was dispatched,
 table like the paper's Figure 2, with cycles relative to the first
 recorded dispatch.
 
+The same table can be reconstructed *offline* from a saved telemetry
+event trace: ``commit`` events carry the full lifetime of each retired
+instruction, and :func:`records_from_events` turns them back into
+:class:`TraceRecord` rows.  Both paths share one formatting helper,
+:func:`render_trace_table`, so ``repro-sim --trace`` and ``repro-trace
+--figure2`` print byte-identical views of the same run.
+
 Example::
 
     core = OutOfOrderCore(ir_config(), program)
@@ -18,7 +25,7 @@ Example::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Iterable, List, Optional, Sequence
 
 from ..isa.instruction import format_instruction
 from .core import OutOfOrderCore
@@ -48,6 +55,68 @@ class TraceRecord:
             suffix = "" if self.prediction_correct else " (wrong)"
             return f"predicted{suffix}"
         return "executed"
+
+    @classmethod
+    def from_event(cls, event) -> "TraceRecord":
+        """Rebuild a record from a saved telemetry ``commit`` event."""
+        data = event.data
+        return cls(
+            pc=event.pc,
+            text=data.get("text", ""),
+            dispatch=data.get("dispatch", event.cycle),
+            issue=data.get("issue"),
+            complete=data.get("complete", event.cycle),
+            commit=event.cycle,
+            executions=data.get("executions", 0),
+            reused=bool(data.get("reused")),
+            predicted=bool(data.get("predicted")),
+            prediction_correct=data.get("correct"),
+        )
+
+
+def records_from_events(events: Iterable) -> List[TraceRecord]:
+    """The :class:`TraceRecord` rows of a telemetry event stream."""
+    return [TraceRecord.from_event(event) for event in events
+            if event.kind == "commit"]
+
+
+_HEADERS = ("pc", "instruction", "disp", "issue", "done", "commit", "how")
+_RIGHT_ALIGNED = frozenset((2, 3, 4, 5))  # the cycle-number columns
+
+
+def render_trace_table(records: Sequence[TraceRecord],
+                       relative: bool = True) -> str:
+    """Format records as the Figure-2 table.
+
+    Column widths are computed over headers *and* cells, so arbitrarily
+    long disassembly strings (or a text column narrower than its
+    header) can never shear the columns out of alignment.
+    """
+    if not records:
+        return "(no instructions traced)"
+    origin = min(r.dispatch for r in records) if relative else 0
+    rows = []
+    for r in records:
+        issue = str(r.issue - origin) if r.issue is not None else "-"
+        rows.append((f"{r.pc:#010x}", r.text, str(r.dispatch - origin),
+                     issue, str(r.complete - origin),
+                     str(r.commit - origin), r.origin))
+    widths = [max(len(_HEADERS[col]), max(len(row[col]) for row in rows))
+              for col in range(len(_HEADERS))]
+
+    def fmt(cells) -> str:
+        parts = []
+        for col, cell in enumerate(cells):
+            if col in _RIGHT_ALIGNED:
+                parts.append(cell.rjust(widths[col]))
+            else:
+                parts.append(cell.ljust(widths[col]))
+        return "  ".join(parts).rstrip()
+
+    full_width = sum(widths) + 2 * (len(_HEADERS) - 1)
+    lines = [fmt(_HEADERS), "-" * full_width]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
 
 
 class PipelineTracer:
@@ -90,22 +159,7 @@ class PipelineTracer:
 
     def render(self, relative: bool = True) -> str:
         """A Figure-2-style table: one committed instruction per row."""
-        if not self.records:
-            return "(no instructions traced)"
-        origin = min(r.dispatch for r in self.records) if relative else 0
-        width = max(len(r.text) for r in self.records)
-        lines = [f"{'pc':10s} {'instruction':{width}s} "
-                 f"{'disp':>5} {'issue':>5} {'done':>5} {'commit':>6}  how"]
-        lines.append("-" * (len(lines[0]) + 12))
-        for record in self.records:
-            issue = (str(record.issue - origin)
-                     if record.issue is not None else "-")
-            lines.append(
-                f"{record.pc:#010x} {record.text:{width}s} "
-                f"{record.dispatch - origin:>5} {issue:>5} "
-                f"{record.complete - origin:>5} "
-                f"{record.commit - origin:>6}  {record.origin}")
-        return "\n".join(lines)
+        return render_trace_table(self.records, relative=relative)
 
     def chain_spread(self) -> int:
         """Cycles between the first and last commit in the trace."""

@@ -90,6 +90,17 @@ class ValuePredictor:
     def abort_address(self, pc: int) -> None:
         pass
 
+    # -- observability ----------------------------------------------------------------
+
+    def telemetry_snapshot(self) -> dict:
+        """End-of-run predictor facts for telemetry context blocks."""
+        return {
+            "kind": self.config.kind.value,
+            "result_lookups": self.result_lookups,
+            "addr_lookups": self.addr_lookups,
+            "vpt_instances": sum(len(ways) for ways in self.table.sets),
+        }
+
 
 class PerfectPredictor:
     """Oracle predictor: every eligible instruction predicted correctly.
@@ -124,6 +135,9 @@ class PerfectPredictor:
 
     def abort_address(self, pc: int) -> None:
         pass
+
+    def telemetry_snapshot(self) -> dict:
+        return {"kind": self.config.kind.value}
 
 
 def make_predictor(config: VPConfig):

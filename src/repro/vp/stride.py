@@ -152,3 +152,10 @@ class StridePredictor:
         if self.config.predict_addresses:
             self.table.update(pc, self.KIND_ADDRESS, actual,
                               was_predicted=predicted is not None)
+
+    def telemetry_snapshot(self) -> dict:
+        """End-of-run predictor facts for telemetry context blocks."""
+        return {
+            "kind": self.config.kind.value,
+            "stride_entries": sum(len(ways) for ways in self.table.sets),
+        }

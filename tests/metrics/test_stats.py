@@ -75,6 +75,22 @@ class TestSerialisation:
         stats = SimStats.from_dict({"cycles": 5, "not_a_field": 1})
         assert stats.cycles == 5
 
+    def test_from_dict_ignores_derived_property_keys(self):
+        # A newer writer may serialize derived metrics alongside the raw
+        # counters.  Property names pass hasattr() but reject setattr();
+        # from_dict must skip them rather than crash (forward-compat).
+        stats = SimStats.from_dict({"cycles": 100, "committed": 250,
+                                    "ipc": 2.5, "branch_prediction_rate": 1.0})
+        assert stats.cycles == 100
+        assert stats.ipc == 2.5  # recomputed, not assigned
+
+    def test_from_dict_tolerates_future_schema(self):
+        payload = SimStats(cycles=10, committed=20).as_dict()
+        payload["telemetry_format"] = "repro-interval-v9"
+        payload["new_counter_block"] = {"a": 1}
+        clone = SimStats.from_dict(payload)
+        assert clone.cycles == 10 and clone.committed == 20
+
 
 class TestAggregation:
     def test_speedup(self):

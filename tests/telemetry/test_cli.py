@@ -1,0 +1,93 @@
+"""Tests for the ``repro-trace`` CLI against a real captured trace."""
+
+import dataclasses
+
+import pytest
+
+from repro.isa import assemble
+from repro.telemetry.cli import main
+from repro.uarch.config import base_config
+from repro.uarch.core import OutOfOrderCore
+from repro.uarch.trace import PipelineTracer
+
+SOURCE = """
+main:   li $s0, 20
+loop:   li $t0, 4
+        add $t1, $t0, $t0
+        add $t2, $t1, $t1
+        addi $s0, $s0, -1
+        bnez $s0, loop
+        halt
+"""
+
+
+@pytest.fixture(scope="module")
+def captured(tmp_path_factory):
+    """One traced run shared by every CLI test: (trace path, live
+    render of the same run's PipelineTracer)."""
+    config = dataclasses.replace(base_config(), verify_commits=True)
+    core = OutOfOrderCore(config, assemble(SOURCE))
+    tracer = PipelineTracer(core, limit=10_000)
+    sink = core.enable_telemetry(interval=100)
+    core.run(max_cycles=20_000)
+    path = tmp_path_factory.mktemp("trace") / "run.trace.jsonl"
+    sink.write_trace(path, workload="asm")
+    return path, tracer.render()
+
+
+def run_cli(capsys, *argv):
+    code = main([str(a) for a in argv])
+    return code, capsys.readouterr().out
+
+
+class TestFiltering:
+    def test_header_line(self, captured, capsys):
+        code, out = run_cli(capsys, captured[0], "--limit", "0")
+        assert code == 0
+        assert "events:" in out and "dropped: 0" in out
+        assert "workload=asm" in out
+
+    def test_kind_filter(self, captured, capsys):
+        _, out = run_cli(capsys, captured[0], "--kinds", "commit")
+        lines = out.splitlines()[1:]
+        assert lines and all(" commit " in line for line in lines)
+
+    def test_unknown_kind_rejected(self, captured):
+        with pytest.raises(SystemExit, match="unknown event kind"):
+            main([str(captured[0]), "--kinds", "nonsense"])
+
+    def test_bad_pc_rejected(self, captured):
+        with pytest.raises(SystemExit, match="--pc"):
+            main([str(captured[0]), "--pc", "xyz"])
+
+    def test_cycle_window_and_limit(self, captured, capsys):
+        _, out = run_cli(capsys, captured[0], "--since", "10",
+                         "--until", "40", "--limit", "5")
+        lines = out.splitlines()[1:]
+        assert len(lines) <= 5
+        for line in lines:
+            assert 10 <= int(line.split()[0]) <= 40
+
+    def test_counts(self, captured, capsys):
+        _, out = run_cli(capsys, captured[0], "--counts")
+        assert "commit" in out and "dispatch" in out
+
+    def test_foreign_file_fails_cleanly(self, tmp_path):
+        bogus = tmp_path / "x.jsonl"
+        bogus.write_text('{"format": "nope"}\n')
+        with pytest.raises(SystemExit, match="repro-trace-v1"):
+            main([str(bogus)])
+
+
+class TestFigure2:
+    def test_reconstruction_matches_live_tracer(self, captured, capsys):
+        """The saved-trace pipeline view IS the live Figure-2 view.
+
+        Both go through render_trace_table, and the commit events carry
+        the full per-instruction lifetimes, so the tables must match
+        line for line (modulo the CLI's header line).
+        """
+        path, live = captured
+        _, out = run_cli(capsys, path, "--figure2")
+        reconstructed = out.split("\n\n", 1)[1].rstrip("\n")
+        assert reconstructed == live.rstrip("\n")

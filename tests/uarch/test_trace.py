@@ -5,7 +5,12 @@ import dataclasses
 from repro.isa import assemble
 from repro.uarch.config import base_config, ir_config, vp_config
 from repro.uarch.core import OutOfOrderCore
-from repro.uarch.trace import PipelineTracer
+from repro.uarch.trace import (
+    PipelineTracer,
+    TraceRecord,
+    records_from_events,
+    render_trace_table,
+)
 
 SOURCE = """
 main:   li $s0, 30
@@ -86,3 +91,80 @@ class TestRendering:
         base = traced_run(base_config(), limit=20, start_cycle=40)
         reuse = traced_run(ir_config(), limit=20, start_cycle=40)
         assert reuse.chain_spread() <= base.chain_spread()
+
+
+def synthetic_record(**overrides):
+    kwargs = dict(pc=0x1000, text="add $t1, $t0, $t0", dispatch=0,
+                  issue=2, complete=3, commit=4, executions=1,
+                  reused=False, predicted=False, prediction_correct=None)
+    kwargs.update(overrides)
+    return TraceRecord(**kwargs)
+
+
+class TestAlignment:
+    """Column positions must agree on every line, whatever the cell
+    widths — long disassembly, huge cycle numbers, or a text column
+    narrower than its header."""
+
+    LEFT = ("pc", "instruction", "how")
+    RIGHT = ("disp", "issue", "done", "commit")
+
+    def assert_grid(self, text):
+        header, separator, *rows = text.splitlines()
+        assert set(separator) == {"-"}
+        assert len(separator) >= len(header.rstrip())
+        for token in self.LEFT:
+            start = header.index(token)
+            for row in rows:
+                assert row[start] != " "
+                if start:
+                    assert row[start - 1] == " "
+        for token in self.RIGHT:
+            end = header.index(token) + len(token)
+            for row in rows:
+                assert row[end - 1] != " "  # right-aligned: digit or '-'
+                assert len(row) == end or row[end] == " "
+
+    def test_long_disassembly_does_not_shear_columns(self):
+        records = [
+            synthetic_record(),
+            synthetic_record(pc=0xDEAD0, text="lw $t9, -32768($gp)  ",
+                             dispatch=999_000, issue=999_123,
+                             complete=1_234_567, commit=1_234_570,
+                             reused=True),
+            synthetic_record(text="x", issue=None, predicted=True,
+                             prediction_correct=False),
+        ]
+        self.assert_grid(render_trace_table(records, relative=False))
+
+    def test_relative_and_absolute_both_aligned(self):
+        records = [synthetic_record(dispatch=500, issue=510,
+                                    complete=520, commit=530),
+                   synthetic_record(dispatch=501, issue=None,
+                                    complete=502, commit=531)]
+        self.assert_grid(render_trace_table(records, relative=True))
+        self.assert_grid(render_trace_table(records, relative=False))
+
+
+class TestOfflineReconstruction:
+    """records_from_events must rebuild the exact live Figure-2 view
+    from a saved telemetry trace (both paths share render_trace_table)."""
+
+    def test_saved_commit_events_reproduce_live_render(self):
+        config = dataclasses.replace(ir_config(), verify_commits=True)
+        core = OutOfOrderCore(config, assemble(SOURCE))
+        tracer = PipelineTracer(core, limit=100_000)
+        sink = core.enable_telemetry(interval=100)
+        core.run(max_cycles=20_000)
+        rebuilt = records_from_events(sink.trace)
+        assert len(rebuilt) == len(tracer.records)
+        assert render_trace_table(rebuilt) == tracer.render()
+
+    def test_non_commit_events_ignored(self):
+        class Event:
+            def __init__(self, kind):
+                self.kind = kind
+                self.cycle, self.seq, self.pc, self.data = 1, 1, 0, {}
+
+        assert records_from_events([Event("dispatch"),
+                                    Event("squash")]) == []
