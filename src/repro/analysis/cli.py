@@ -1,0 +1,82 @@
+"""``repro-lint`` — the static-analysis gate as a console command.
+
+Exit codes: 0 when no unwaived error-severity findings remain, 1
+otherwise, 2 for usage errors.  CI runs ``repro-lint src/`` as a
+blocking job; the pre-commit hook runs the same command locally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core import Analyzer, Rule
+from .reporters import render_json, render_text
+from .rules import default_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=("Determinism & invariant static analysis for the "
+                     "repro codebase (rule catalogue: "
+                     "docs/static-analysis.md)"))
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze "
+                             "(default: src)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--select", metavar="RULE[,RULE...]",
+                        help="run only the named rules")
+    parser.add_argument("--show-waived", action="store_true",
+                        help="include waived findings in text output")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def list_rules(rules: List[Rule]) -> str:
+    width = max(len(rule.id) for rule in rules)
+    lines = [f"{rule.id:<{width}}  {rule.severity.value:<7}  "
+             f"{rule.description}"
+             for rule in sorted(rules, key=lambda rule: rule.id)]
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    rules = default_rules()
+
+    if args.list_rules:
+        sys.stdout.write(list_rules(rules))
+        return 0
+
+    select: Optional[List[str]] = None
+    if args.select:
+        select = [name.strip() for name in args.select.split(",")
+                  if name.strip()]
+        known = {rule.id for rule in rules}
+        unknown = sorted(set(select) - known)
+        if unknown:
+            parser.error(f"unknown rule(s): {', '.join(unknown)} "
+                         f"(see --list-rules)")
+
+    paths = [Path(p) for p in args.paths]
+    for path in paths:
+        if not path.exists():
+            parser.error(f"no such path: {path}")
+
+    report = Analyzer(rules).run(paths, select=select)
+    if args.format == "json":
+        sys.stdout.write(render_json(report))
+    else:
+        sys.stdout.write(render_text(report,
+                                     show_waived=args.show_waived))
+    return report.exit_code()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

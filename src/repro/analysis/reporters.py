@@ -1,0 +1,62 @@
+"""Stable text and JSON rendering of a lint :class:`Report`.
+
+Both formats are deterministic functions of the findings: sorted input
+(the analyzer sorts), no timestamps, no absolute paths — two runs over
+the same tree produce byte-identical output, so reports can themselves
+be diffed or cached.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .core import Report, Severity
+
+#: Bumped when the JSON layout changes shape.
+REPORT_FORMAT = "repro-lint-v1"
+
+
+def render_text(report: Report, show_waived: bool = False) -> str:
+    """Human-readable ``path:line: severity [rule] message`` lines."""
+    lines: List[str] = []
+    for finding in report.findings:
+        if finding.waived and not show_waived:
+            continue
+        status = "waived" if finding.waived else finding.severity.value
+        location = f"{finding.path}:{finding.line}" if finding.line \
+            else finding.path
+        lines.append(f"{location}: {status} [{finding.rule}] "
+                     f"{finding.message}")
+        if finding.waived:
+            lines.append(f"    waiver: {finding.waive_reason}")
+    lines.append(
+        f"{len(report.errors)} error(s), {len(report.warnings)} "
+        f"warning(s), {len(report.waived)} waived, "
+        f"{report.files_checked} file(s) checked")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(report: Report) -> str:
+    """Machine-readable report (sorted keys, stable ordering)."""
+    payload: Dict[str, object] = {
+        "format": REPORT_FORMAT,
+        "files_checked": report.files_checked,
+        "rules_run": sorted(report.rules_run),
+        "findings": [finding.as_dict() for finding in report.findings],
+        "summary": {
+            "errors": len(report.errors),
+            "warnings": len(report.warnings),
+            "waived": len(report.waived),
+        },
+        "exit_code": report.exit_code(),
+    }
+    return json.dumps(payload, indent=1, sort_keys=True) + "\n"
+
+
+def severity_counts(report: Report) -> Dict[str, int]:
+    """``{severity: count}`` over unwaived findings (sorted keys)."""
+    counts = {severity.value: 0 for severity in Severity}
+    for finding in report.unwaived:
+        counts[finding.severity.value] += 1
+    return dict(sorted(counts.items()))

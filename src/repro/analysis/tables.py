@@ -1,0 +1,391 @@
+"""Cross-table exhaustiveness: the ISA's four parallel tables agree.
+
+One opcode touches four places that grew independently:
+
+1. the **opcode table** — ``repro/isa/opcodes.py`` registers it via
+   ``_define``/``_alu``/``_mem``/``_branch``;
+2. the **assembler decode entry** — ``Assembler._build`` must handle its
+   operand :class:`Format`;
+3. the **compiled execution semantics** — ``compile_exec`` and
+   ``compile_ff`` in ``repro/functional/compiled.py`` must handle its
+   ``exec_kind`` (``KIND_ALU`` is the documented fall-through tail);
+4. the **functional-unit mapping** — ``FunctionalUnits.__init__`` must
+   key its :class:`OpClass` in ``self.pools``.
+
+Drift between them is only caught dynamically today if a workload
+happens to execute the missing opcode.  This checker parses all four
+files (pure AST, nothing is imported or executed) and proves coverage
+for *every* registered opcode — plus the meta-invariant that each
+extraction found a plausible table at all, so a refactor that moves a
+table can never silently turn the checker into a no-op.
+
+The extraction functions take file paths so the mutation tests can run
+them over deliberately broken copies of the sources.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .core import Finding, ProjectRule, Severity
+
+RULE_ID = "cross-table"
+
+#: The four table files, relative to the source root (the directory
+#: containing the ``repro`` package).
+OPCODES_FILE = "repro/isa/opcodes.py"
+INSTRUCTION_FILE = "repro/isa/instruction.py"
+ASSEMBLER_FILE = "repro/isa/assembler.py"
+COMPILED_FILE = "repro/functional/compiled.py"
+FUNCTIONAL_UNITS_FILE = "repro/uarch/functional_units.py"
+
+
+@dataclass
+class OpcodeEntry:
+    """What the checker knows about one registered opcode."""
+
+    name: str
+    line: int
+    fmt: Optional[str] = None  # Format member name
+    op_class: Optional[str] = None  # OpClass member name
+    flags: Dict[str, bool] = field(default_factory=dict)
+
+    def flag(self, name: str) -> bool:
+        return self.flags.get(name, False)
+
+    @property
+    def exec_kind(self) -> str:
+        """Mirror of ``Instruction._decode_exec_kind`` (same priority)."""
+        if self.op_class == "NOP":
+            return "KIND_NOP"
+        if self.flag("is_branch"):
+            return "KIND_BRANCH"
+        if self.flag("is_jump"):
+            return "KIND_JUMP"
+        if self.flag("is_load"):
+            return "KIND_LOAD"
+        if self.flag("is_store"):
+            return "KIND_STORE"
+        if self.flag("writes_hi_lo"):
+            return "KIND_HILO"
+        return "KIND_ALU"
+
+
+def _const_str(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _member_of(node: ast.expr, enum_name: str) -> Optional[str]:
+    """``X`` from an ``<enum_name>.X`` attribute expression."""
+    if isinstance(node, ast.Attribute) \
+            and isinstance(node.value, ast.Name) \
+            and node.value.id == enum_name:
+        return node.attr
+    return None
+
+
+def _truthy_const(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value is True
+
+
+def parse_opcode_table(path: Path) -> List[OpcodeEntry]:
+    """Every opcode registered at module level in ``opcodes.py``.
+
+    Understands the four registration idioms: ``_alu(name, fmt, ...)``,
+    ``_branch(name, fmt, ...)``, ``_mem(name, is_load, nbytes, ...)``
+    and ``_define(Opcode(name, fmt, op_class, ...))``.
+    """
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    entries: List[OpcodeEntry] = []
+    for node in tree.body:
+        if not isinstance(node, ast.Expr) \
+                or not isinstance(node.value, ast.Call):
+            continue
+        call = node.value
+        if not isinstance(call.func, ast.Name):
+            continue
+        helper = call.func.id
+        entry: Optional[OpcodeEntry] = None
+        if helper == "_alu" and call.args:
+            name = _const_str(call.args[0])
+            if name:
+                entry = OpcodeEntry(name, call.lineno, op_class="INT_ALU")
+                if len(call.args) > 1:
+                    entry.fmt = _member_of(call.args[1], "Format")
+        elif helper == "_branch" and call.args:
+            name = _const_str(call.args[0])
+            if name:
+                entry = OpcodeEntry(name, call.lineno,
+                                    op_class="BRANCH",
+                                    flags={"is_branch": True})
+                if len(call.args) > 1:
+                    entry.fmt = _member_of(call.args[1], "Format")
+        elif helper == "_mem" and len(call.args) >= 2:
+            name = _const_str(call.args[0])
+            if name:
+                is_load = _truthy_const(call.args[1])
+                entry = OpcodeEntry(
+                    name, call.lineno, fmt="MEM", op_class="LOAD_STORE",
+                    flags={"is_load": is_load, "is_store": not is_load})
+        elif helper == "_define" and call.args \
+                and isinstance(call.args[0], ast.Call):
+            inner = call.args[0]
+            if isinstance(inner.func, ast.Name) \
+                    and inner.func.id == "Opcode" and inner.args:
+                name = _const_str(inner.args[0])
+                if name:
+                    entry = OpcodeEntry(name, call.lineno)
+                    if len(inner.args) > 1:
+                        entry.fmt = _member_of(inner.args[1], "Format")
+                    if len(inner.args) > 2:
+                        entry.op_class = _member_of(inner.args[2],
+                                                    "OpClass")
+                    for keyword in inner.keywords:
+                        if keyword.arg:
+                            entry.flags[keyword.arg] = _truthy_const(
+                                keyword.value)
+        if entry is not None:
+            entries.append(entry)
+    return entries
+
+
+def parse_op_class_members(path: Path) -> Set[str]:
+    """Member names of the ``OpClass`` enum in ``opcodes.py``."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    members: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == "OpClass":
+            for stmt in node.body:
+                if isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name) \
+                                and not target.id.startswith("_"):
+                            members.add(target.id)
+    return members
+
+
+def parse_instruction_kinds(path: Path) -> Set[str]:
+    """``KIND_*`` codes defined at module level in ``instruction.py``."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    kinds: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) \
+                        and target.id.startswith("KIND_"):
+                    kinds.add(target.id)
+    return kinds
+
+
+def parse_assembler_formats(path: Path) -> Set[str]:
+    """Format members ``Assembler._build`` dispatches on.
+
+    ``Format.NONE`` is the fall-through tail (the final ``return``), so
+    only explicit ``fmt == Format.X`` comparisons count.
+    """
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    handled: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == "_build":
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Compare):
+                    for comparator in inner.comparators:
+                        member = _member_of(comparator, "Format")
+                        if member is not None:
+                            handled.add(member)
+    return handled
+
+
+def parse_compiled_kinds(path: Path) -> Dict[str, Set[str]]:
+    """``{function_name: {KIND_* it handles}}`` for ``compiled.py``.
+
+    ``KIND_ALU`` is each function's documented fall-through tail and is
+    treated as always handled.
+    """
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    handled: Dict[str, Set[str]] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.FunctionDef) \
+                or node.name not in ("compile_exec", "compile_ff"):
+            continue
+        kinds: Set[str] = {"KIND_ALU"}
+        for inner in ast.walk(node):
+            if not isinstance(inner, ast.Compare):
+                continue
+            for operand in [inner.left] + list(inner.comparators):
+                if isinstance(operand, ast.Name) \
+                        and operand.id.startswith("KIND_"):
+                    kinds.add(operand.id)
+        handled[node.name] = kinds
+    return handled
+
+
+def parse_fu_pools(path: Path) -> Set[str]:
+    """OpClass members keyed in ``FunctionalUnits.__init__``'s
+    ``self.pools`` dict literal."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    members: Set[str] = set()
+    for node in ast.walk(tree):
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = list(node.targets), node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets, value = [node.target], node.value
+        if not isinstance(value, ast.Dict):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Attribute) \
+                    and target.attr == "pools" \
+                    and isinstance(target.value, ast.Name) \
+                    and target.value.id == "self":
+                for key in value.keys:
+                    if key is None:
+                        continue
+                    member = _member_of(key, "OpClass")
+                    if member is not None:
+                        members.add(member)
+    return members
+
+
+def check_tables(root: Path) -> List[Finding]:
+    """Prove every opcode covered across all four tables under *root*.
+
+    *root* is the directory containing the ``repro`` package (``src/``
+    in this repository, a fixture tree in the mutation tests).  Returns
+    sorted error findings; an empty list is the proof.
+    """
+    root = Path(root)
+    findings: List[Finding] = []
+
+    paths = {
+        "opcodes": root / OPCODES_FILE,
+        "instruction": root / INSTRUCTION_FILE,
+        "assembler": root / ASSEMBLER_FILE,
+        "compiled": root / COMPILED_FILE,
+        "functional_units": root / FUNCTIONAL_UNITS_FILE,
+    }
+    missing = [str(p.relative_to(root)) for p in paths.values()
+               if not p.is_file()]
+    if missing:
+        return [Finding("repro", 0, RULE_ID,
+                        f"table files missing: {', '.join(missing)}")]
+
+    opcodes = parse_opcode_table(paths["opcodes"])
+    op_classes = parse_op_class_members(paths["opcodes"])
+    kinds = parse_instruction_kinds(paths["instruction"])
+    formats = parse_assembler_formats(paths["assembler"])
+    compiled = parse_compiled_kinds(paths["compiled"])
+    pools = parse_fu_pools(paths["functional_units"])
+
+    # Meta-invariant: every extraction must have found its table.  A
+    # refactor that moves/renames a table shows up here instead of
+    # silently passing an empty coverage check.
+    checks: List[Tuple[bool, str, str]] = [
+        (not opcodes, OPCODES_FILE,
+         "no opcode registrations found (extraction broken?)"),
+        (not op_classes, OPCODES_FILE, "OpClass enum not found"),
+        (not kinds, INSTRUCTION_FILE, "no KIND_* codes found"),
+        (not formats, ASSEMBLER_FILE,
+         "Assembler._build handles no Format members"),
+        ("compile_exec" not in compiled, COMPILED_FILE,
+         "compile_exec not found"),
+        ("compile_ff" not in compiled, COMPILED_FILE,
+         "compile_ff not found"),
+        (not pools, FUNCTIONAL_UNITS_FILE,
+         "FunctionalUnits.pools dict not found"),
+    ]
+    for failed, rel, message in checks:
+        if failed:
+            findings.append(Finding(rel, 0, RULE_ID, message))
+    if findings:
+        return sorted(findings, key=Finding.sort_key)
+
+    seen: Set[str] = set()
+    for entry in opcodes:
+        if entry.name in seen:
+            findings.append(Finding(
+                OPCODES_FILE, entry.line, RULE_ID,
+                f"opcode {entry.name!r} registered twice"))
+            continue
+        seen.add(entry.name)
+
+        # Table 2: assembler decode entry for the operand format.
+        if entry.fmt is None:
+            findings.append(Finding(
+                OPCODES_FILE, entry.line, RULE_ID,
+                f"opcode {entry.name!r}: could not determine its "
+                "Format statically"))
+        elif entry.fmt != "NONE" and entry.fmt not in formats:
+            findings.append(Finding(
+                ASSEMBLER_FILE, 0, RULE_ID,
+                f"opcode {entry.name!r} (Format.{entry.fmt}) has no "
+                "decode entry in Assembler._build"))
+
+        # Table 3: compiled execution semantics for the exec kind.
+        kind = entry.exec_kind
+        if kind not in kinds:
+            findings.append(Finding(
+                INSTRUCTION_FILE, 0, RULE_ID,
+                f"opcode {entry.name!r} maps to {kind}, which "
+                "instruction.py does not define"))
+        for function in ("compile_exec", "compile_ff"):
+            if kind not in compiled[function]:
+                findings.append(Finding(
+                    COMPILED_FILE, 0, RULE_ID,
+                    f"opcode {entry.name!r} ({kind}) has no handler "
+                    f"in {function}"))
+
+        # Table 4: a functional-unit pool for the op class.
+        if entry.op_class is None:
+            findings.append(Finding(
+                OPCODES_FILE, entry.line, RULE_ID,
+                f"opcode {entry.name!r}: could not determine its "
+                "OpClass statically"))
+        elif entry.op_class not in pools:
+            findings.append(Finding(
+                FUNCTIONAL_UNITS_FILE, 0, RULE_ID,
+                f"opcode {entry.name!r} (OpClass.{entry.op_class}) has "
+                "no FunctionalUnits pool mapping"))
+        if entry.op_class is not None \
+                and entry.op_class not in op_classes:
+            findings.append(Finding(
+                OPCODES_FILE, entry.line, RULE_ID,
+                f"opcode {entry.name!r} names unknown "
+                f"OpClass.{entry.op_class}"))
+
+    # Every OpClass member needs a pool even if no opcode uses it yet
+    # (an opcode added later would inherit the gap).
+    for member in sorted(op_classes - pools):
+        findings.append(Finding(
+            FUNCTIONAL_UNITS_FILE, 0, RULE_ID,
+            f"OpClass.{member} has no FunctionalUnits pool mapping"))
+
+    # Every defined KIND_* (bar the KIND_ALU tail) must have handlers —
+    # catches a deleted dispatch arm even before an opcode maps to it.
+    for function, handled in sorted(compiled.items()):
+        for kind in sorted(kinds - handled):
+            findings.append(Finding(
+                COMPILED_FILE, 0, RULE_ID,
+                f"{kind} is defined but {function} has no handler "
+                "for it"))
+
+    return sorted(findings, key=Finding.sort_key)
+
+
+class CrossTableRule(ProjectRule):
+    """Framework wrapper running :func:`check_tables` once per root."""
+
+    id = RULE_ID
+    severity = Severity.ERROR
+    description = ("every opcode needs an assembler decode entry, "
+                   "compiled exec/ff semantics and a functional-unit "
+                   "pool mapping")
+
+    def check_project(self, root: Path) -> Iterable[Finding]:
+        return check_tables(root)

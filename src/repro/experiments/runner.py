@@ -18,8 +18,8 @@ or in what order.  Three mechanisms uphold the contract:
 * simulations share no state: each worker rebuilds its program from the
   workload registry and runs a private core;
 * cache files are written canonically (sorted keys) and atomically
-  (tempfile + ``os.replace``), so a cache produced by a ``jobs=8`` sweep
-  is byte-identical to a serial one;
+  (:func:`repro.util.locking.atomic_write_text`), so a cache produced by
+  a ``jobs=8`` sweep is byte-identical to a serial one;
 * a per-key :class:`~repro.util.locking.FileLock` makes
   concurrent workers (or concurrent CLI invocations) cooperate instead
   of double-running or corrupting an entry.
@@ -47,7 +47,6 @@ import hashlib
 import json
 import multiprocessing
 import os
-import tempfile
 import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
@@ -59,7 +58,7 @@ from ..metrics.stats import SimStats
 from ..redundancy.reusability import ReusabilityAnalyzer
 from ..uarch.config import MachineConfig
 from ..workloads import WorkloadSpec, all_workloads, get_workload
-from ..util.locking import FileLock
+from ..util.locking import FileLock, atomic_write_text
 
 CACHE_VERSION = 4
 
@@ -426,21 +425,11 @@ class ExperimentRunner:
         self._memory_cache[key] = stats
         if self.cache_dir is None:
             return
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
         path = self.cache_dir / f"{key}.json"
         # Canonical bytes (sorted keys) + atomic replace: a parallel sweep
         # leaves a cache byte-identical to a serial one, and a reader can
         # never observe a partial file.
-        fd, tmp_name = tempfile.mkstemp(dir=str(self.cache_dir),
-                                        prefix=f".{key}.", suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(stats.canonical_json())
-            os.replace(tmp_name, path)
-        except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(tmp_name)
-            raise
+        atomic_write_text(path, stats.canonical_json())
 
 
 # -- pool plumbing ----------------------------------------------------------------

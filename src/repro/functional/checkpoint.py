@@ -22,9 +22,10 @@ zlib-compressed payload of packed registers and sorted memory pages.  A
 file that fails *any* of the magic/checksum/structure checks is
 discarded and regenerated — a checkpoint is a pure cache and is never
 trusted over recomputation.  Writes go through a per-key
-:class:`~repro.util.locking.FileLock` plus tempfile + ``os.replace``,
-so concurrent ``--jobs N`` workers cooperate and readers never observe
-a partial file (the same discipline as the experiment result cache).
+:class:`~repro.util.locking.FileLock` plus
+:func:`~repro.util.locking.atomic_write_bytes`, so concurrent
+``--jobs N`` workers cooperate and readers never observe a partial
+file (the same discipline as the experiment result cache).
 
 Capture stops *in front of* a halt instruction (``hit_halt``), which is
 the timing core's convention; :meth:`WarmState.executed` then counts
@@ -37,15 +38,13 @@ from __future__ import annotations
 
 import contextlib
 import hashlib
-import os
 import struct
-import tempfile
 import zlib
 from pathlib import Path
 from typing import Dict, List, Optional
 
 from ..isa.program import Program
-from ..util.locking import FileLock
+from ..util.locking import FileLock, atomic_write_bytes
 from .compiled import HALT, CompiledProgram
 from .memory import PAGE_SIZE, Memory
 from .simulator import ArchState, SimulationError
@@ -224,18 +223,7 @@ class CheckpointStore:
             return None  # never trusted: caller recaptures under lock
 
     def _write(self, path: Path, warm: WarmState) -> None:
-        self.root.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(dir=str(self.root),
-                                        prefix=f".{path.stem}.",
-                                        suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(serialize(warm))
-            os.replace(tmp_name, path)
-        except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(tmp_name)
-            raise
+        atomic_write_bytes(path, serialize(warm))
 
     def __len__(self) -> int:
         return len(self._memo)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from .instruction import INSTRUCTION_BYTES, Instruction
 from .opcodes import Format, Opcode, lookup, parse_register, u32
@@ -32,7 +32,8 @@ from .program import DATA_BASE, Program, TEXT_BASE
 class AssemblyError(Exception):
     """Raised for any syntax or semantic error in assembly source."""
 
-    def __init__(self, message: str, line_number: int = 0, line: str = ""):
+    def __init__(self, message: str, line_number: int = 0,
+                 line: str = "") -> None:
         location = f"line {line_number}: " if line_number else ""
         suffix = f"  [{line.strip()}]" if line else ""
         super().__init__(f"{location}{message}{suffix}")
@@ -92,7 +93,8 @@ class _Statement:
 class Assembler:
     """Two-pass assembler producing a :class:`Program`."""
 
-    def __init__(self, text_base: int = TEXT_BASE, data_base: int = DATA_BASE):
+    def __init__(self, text_base: int = TEXT_BASE,
+                 data_base: int = DATA_BASE) -> None:
         self.text_base = text_base
         self.data_base = data_base
 
@@ -113,7 +115,8 @@ class Assembler:
 
     # -- pass one: layout and symbols -----------------------------------------
 
-    def _first_pass(self, source: str):
+    def _first_pass(self, source: str) -> Tuple[
+            List["_Statement"], List["_Statement"], Dict[str, int]]:
         symbols: Dict[str, int] = {}
         text_stmts: List[_Statement] = []
         data_stmts: List[_Statement] = []
@@ -296,7 +299,8 @@ class Assembler:
                                 stmt.line_number, stmt.line)
         yield self._build(opcode, ops, pc, reg, value, stmt)
 
-    def _build(self, opcode: Opcode, ops: List[str], pc: int, reg, value,
+    def _build(self, opcode: Opcode, ops: List[str], pc: int,
+               reg: Callable[[str], int], value: Callable[[str], int],
                stmt: _Statement) -> Instruction:
         fmt = opcode.fmt
         if fmt == Format.RRR:

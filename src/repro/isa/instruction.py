@@ -18,7 +18,7 @@ assembly-level operand order):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from .opcodes import (
     Format,
@@ -69,7 +69,7 @@ class Instruction:
     b_reg: int = -1
     exec_kind: int = KIND_ALU
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(self, "src_regs", self._decode_src_regs())
         object.__setattr__(self, "dest_regs", self._decode_dest_regs())
         a_reg, b_reg = self._decode_operand_regs()
@@ -158,7 +158,8 @@ class Instruction:
         """True when this instruction produces a register result."""
         return bool(self.dest_regs)
 
-    def operand_values(self, read_reg) -> Tuple[int, int]:
+    def operand_values(
+            self, read_reg: Callable[[int], int]) -> Tuple[int, int]:
         """Read the ``(a, b)`` evaluation operands via *read_reg(regnum)*.
 
         ``a`` is the first source (rs / HI / LO), ``b`` the second (rt, or

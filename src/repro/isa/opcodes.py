@@ -167,7 +167,7 @@ def _define(opcode: Opcode) -> Opcode:
     return opcode
 
 
-def _alu(name: str, fmt: Format, eval_fn: EvalFn, **kwargs) -> Opcode:
+def _alu(name: str, fmt: Format, eval_fn: EvalFn, **kwargs: object) -> Opcode:
     return _define(Opcode(name, fmt, OpClass.INT_ALU, 1, 1, eval_fn, **kwargs))
 
 
@@ -277,8 +277,8 @@ def float_to_bits(value: float) -> int:
         return sign | 0x7F800000
 
 
-def _fp_binary(fn):
-    def evaluate(a, b, imm):
+def _fp_binary(fn: Callable[[float, float], float]) -> EvalFn:
+    def evaluate(a: int, b: int, imm: int) -> int:
         return float_to_bits(fn(bits_to_float(a), bits_to_float(b)))
     return evaluate
 
@@ -290,13 +290,13 @@ def _fp_div(x: float, y: float) -> float:
     return x / y
 
 
-def _fp_sqrt(a, b, imm):
+def _fp_sqrt(a: int, b: int, imm: int) -> int:
     x = bits_to_float(a)
     return float_to_bits(x ** 0.5 if x >= 0 else float("nan"))
 
 
-def _fp_compare(fn):
-    def evaluate(a, b, imm):
+def _fp_compare(fn: Callable[[float, float], bool]) -> EvalFn:
+    def evaluate(a: int, b: int, imm: int) -> int:
         return int(fn(bits_to_float(a), bits_to_float(b)))
     return evaluate
 

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
+
+from ..util.serial import canonical_dumps
 
 
 @dataclass
@@ -160,10 +161,14 @@ class SimStats:
         This is the byte format of the on-disk result cache, and the
         foundation of the determinism contract: two runs of the same
         (workload, config) pair — serial or parallel, in any process —
-        must produce byte-identical output.  ``sort_keys`` removes the
-        last source of byte-level variation (dict insertion order).
+        must produce byte-identical output.  ``canonical_dumps`` both
+        sorts keys (removing the last source of byte-level variation,
+        dict insertion order) and *asserts* the payload is sortable —
+        e.g. ``exec_count_histogram`` must keep homogeneous int keys,
+        because int keys sort numerically while str keys would sort
+        lexically ("10" < "2") and silently reorder the cache bytes.
         """
-        return json.dumps(self.as_dict(), indent=1, sort_keys=True)
+        return canonical_dumps(self.as_dict())
 
     def diff(self, other: "SimStats") -> Dict[str, Tuple]:
         """Field-by-field comparison: ``{field: (self, other)}`` for every

@@ -27,10 +27,12 @@ import os
 import platform
 import subprocess
 import sys
-import tempfile
 import time
 from pathlib import Path
 from typing import Dict, List, Optional
+
+from ..util.locking import atomic_write_text
+from ..util.serial import canonical_dumps
 
 MANIFEST_FORMAT = "repro-manifest-v1"
 
@@ -169,24 +171,9 @@ def sweep_manifest(*, run_keys: List[str], simulated: int, cached: int,
 
 
 def write_manifest(path, manifest: Dict) -> None:
-    """Atomically write *manifest* as pretty JSON (tempfile + replace,
-    the same discipline as the result cache)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
-                                    prefix=f".{path.stem}.",
-                                    suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(json.dumps(manifest, indent=1, sort_keys=True)
-                         + "\n")
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
+    """Atomically write *manifest* as canonical JSON (sorted keys,
+    the same byte discipline as the result cache)."""
+    atomic_write_text(Path(path), canonical_dumps(manifest) + "\n")
 
 
 def load_manifests(directory) -> List[Dict]:

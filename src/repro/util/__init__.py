@@ -1,5 +1,12 @@
-"""Infrastructure shared across layers (locks, atomic file helpers)."""
+"""Infrastructure shared across layers (locks, atomic writes, canonical JSON)."""
 
-from .locking import FileLock
+from .locking import FileLock, atomic_write_bytes, atomic_write_text
+from .serial import canonical_dumps, validate_canonical
 
-__all__ = ["FileLock"]
+__all__ = [
+    "FileLock",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "canonical_dumps",
+    "validate_canonical",
+]

@@ -1,26 +1,37 @@
-"""Advisory per-file locks shared by the on-disk caches.
+"""Advisory per-file locks and the atomic-write path for on-disk stores.
 
-Two on-disk stores are written concurrently by ``--jobs N`` worker
+Three on-disk stores are written concurrently by ``--jobs N`` worker
 processes: the experiment result cache
-(:class:`~repro.experiments.runner.ExperimentRunner`) and the warm-state
-checkpoint store (:class:`~repro.functional.checkpoint.CheckpointStore`).
-In both, racing producers may try to create the same entry (e.g. the
-base run every speedup divides by, or the shared warm-up of a workload's
-first two configs).  Each key gets a sidecar ``<key>.lock`` file; a
-producer holds the lock while it re-checks the store and (re-)produces,
-so an entry is never computed twice and a reader can never observe a
-half-written file.
+(:class:`~repro.experiments.runner.ExperimentRunner`), the warm-state
+checkpoint store (:class:`~repro.functional.checkpoint.CheckpointStore`)
+and the run-manifest directory (:mod:`repro.telemetry.manifest`).  In
+all of them, racing producers may try to create the same entry (e.g.
+the base run every speedup divides by, or the shared warm-up of a
+workload's first two configs).  Each key gets a sidecar ``<key>.lock``
+file; a producer holds the lock while it re-checks the store and
+(re-)produces, so an entry is never computed twice and a reader can
+never observe a half-written file.
 
 On POSIX the lock is ``fcntl.flock`` (kernel-mediated, crash-safe: the
 lock dies with the process).  Where ``fcntl`` is unavailable the
 fallback is an ``O_CREAT | O_EXCL`` spin lock with a stale-lock timeout.
+
+:func:`atomic_write_bytes` / :func:`atomic_write_text` are the one
+sanctioned write path for those stores (tempfile in the destination
+directory + ``os.replace``, temp file unlinked on any failure).  The
+``atomic-write`` lint rule (:mod:`repro.analysis.rules`) flags any
+hand-rolled ``tempfile``/``os.replace`` use outside this module, so the
+discipline cannot silently fork.
 """
 
 from __future__ import annotations
 
+import contextlib
 import os
+import tempfile
 import time
 from pathlib import Path
+from typing import Union
 
 try:  # POSIX
     import fcntl
@@ -40,7 +51,7 @@ class FileLock:
     runner acquires one lock per cache key, once).
     """
 
-    def __init__(self, path: Path, poll_interval: float = 0.02):
+    def __init__(self, path: Path, poll_interval: float = 0.02) -> None:
         self.path = Path(path)
         self.poll_interval = poll_interval
         self._fd: int | None = None
@@ -90,5 +101,35 @@ class FileLock:
         self.acquire()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.release()
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Write *data* to *path* so readers never observe a partial file.
+
+    The bytes land in a ``.tmp`` sibling in the destination directory
+    (same filesystem, so the final ``os.replace`` is atomic) and the
+    temp file is removed on any failure.  Concurrent writers of the
+    same *path* are safe: the last replace wins and every intermediate
+    state is a complete file.  Parent directories are created.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
+                                    prefix=f".{path.stem}.",
+                                    suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+
+
+def atomic_write_text(path: Union[str, Path], text: str,
+                      encoding: str = "utf-8") -> None:
+    """Text-mode convenience wrapper over :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode(encoding))

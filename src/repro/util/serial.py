@@ -1,0 +1,86 @@
+"""Canonical JSON: the one serializer behind byte-identity contracts.
+
+``canonical_dumps`` is ``json.dumps(..., sort_keys=True)`` plus the
+checks that make "sorted keys" an *enforced* invariant instead of a
+hope:
+
+* every mapping's keys must be homogeneous — all ``str`` or all ``int``
+  (``sort_keys`` over mixed key types raises deep inside ``json`` with
+  no context; worse, ``True``/``1`` collide after stringification and
+  silently drop data);
+* non-finite floats are rejected (``NaN``/``Infinity`` are not JSON and
+  ``NaN != NaN`` breaks the equality checks the determinism tests use);
+* only JSON-representable types are accepted — no default hook, so an
+  object can never serialize differently between writer versions.
+
+Int keys sort *numerically* (json's behaviour), which is part of the
+canonical byte format: ``SimStats.exec_count_histogram`` has serialized
+that way since the first cache version, and changing it would orphan
+every cache and golden file.
+
+Used by :meth:`repro.metrics.stats.SimStats.canonical_json` (the result
+cache and golden corpus bytes) and :func:`repro.telemetry.manifest
+.write_manifest`; the ``sorted-serialization`` lint rule keeps ad-hoc
+``json.dumps`` calls from bypassing it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Optional
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def validate_canonical(payload: object, context: str = "payload") -> None:
+    """Raise ``ValueError`` unless *payload* serializes canonically.
+
+    Checks, recursively: JSON-representable types only, homogeneous
+    (sortable) dict keys, finite floats.  *context* names the offending
+    location in error messages.
+    """
+    if isinstance(payload, dict):
+        key_types = {type(key) for key in payload}
+        # bool is an int subclass: True would stringify to "true"...
+        # except json renders bool keys as "true"/"false" while sorting
+        # them as ints — ban them outright.
+        if any(issubclass(t, bool) for t in key_types):
+            raise ValueError(f"{context}: bool dict keys do not "
+                             "serialize canonically")
+        if not all(issubclass(t, (str, int)) for t in key_types):
+            bad = sorted(t.__name__ for t in key_types
+                         if not issubclass(t, (str, int)))
+            raise ValueError(f"{context}: unsortable dict key type(s) "
+                             f"{', '.join(bad)}")
+        if len({str if issubclass(t, str) else int
+                for t in key_types}) > 1:
+            raise ValueError(
+                f"{context}: mixed str/int dict keys — key order "
+                "would be undefined under sort_keys")
+        for key, value in payload.items():
+            validate_canonical(value, f"{context}[{key!r}]")
+    elif isinstance(payload, (list, tuple)):
+        for index, value in enumerate(payload):
+            validate_canonical(value, f"{context}[{index}]")
+    elif isinstance(payload, float):
+        if not math.isfinite(payload):
+            raise ValueError(f"{context}: non-finite float {payload!r} "
+                             "is not canonical JSON")
+    elif not isinstance(payload, _SCALARS):
+        raise ValueError(f"{context}: {type(payload).__name__} is not "
+                         "JSON-representable (no default hook by "
+                         "design)")
+
+
+def canonical_dumps(payload: object, indent: Optional[int] = 1) -> str:
+    """Serialize *payload* deterministically (validated + sorted keys).
+
+    The byte format of the result cache, golden corpus and manifests:
+    ``indent=1``, sorted keys, explicit validation up front so a
+    non-canonical payload fails loudly at the writer, never at a
+    reader diffing two caches.
+    """
+    validate_canonical(payload)
+    return json.dumps(payload, indent=indent, sort_keys=True,
+                      allow_nan=False)

@@ -1,0 +1,61 @@
+"""Reporter output: exact text format, JSON shape, byte stability."""
+
+import json
+
+from repro.analysis.reporters import (REPORT_FORMAT, render_json,
+                                      render_text, severity_counts)
+
+FIXTURE = {"repro/experiments/mod.py": """\
+    def key(x):
+        return hash(x)
+
+    def key2(x):
+        return hash(x)  # repro-lint: waive[no-builtin-hash] -- memo key, never persisted
+"""}
+
+
+def test_text_report_exact(lint_tree):
+    report = lint_tree(FIXTURE, select=["no-builtin-hash"])
+    assert render_text(report) == (
+        "repro/experiments/mod.py:2: error [no-builtin-hash] builtin "
+        "hash() is salted per process (PYTHONHASHSEED); use hashlib "
+        "for any value that crosses a process boundary\n"
+        "1 error(s), 0 warning(s), 1 waived, 1 file(s) checked\n")
+
+
+def test_text_report_show_waived(lint_tree):
+    report = lint_tree(FIXTURE, select=["no-builtin-hash"])
+    text = render_text(report, show_waived=True)
+    assert "mod.py:5: waived [no-builtin-hash]" in text
+    assert "waiver: memo key, never persisted" in text
+
+
+def test_json_report_shape(lint_tree):
+    report = lint_tree(FIXTURE, select=["no-builtin-hash"])
+    payload = json.loads(render_json(report))
+    assert payload["format"] == REPORT_FORMAT
+    assert payload["exit_code"] == 1
+    assert payload["files_checked"] == 1
+    assert payload["rules_run"] == ["no-builtin-hash"]
+    assert payload["summary"] == {"errors": 1, "waived": 1,
+                                  "warnings": 0}
+    kinds = [(f["line"], f["waived"]) for f in payload["findings"]]
+    assert kinds == [(2, False), (5, True)]
+
+
+def test_reports_are_byte_stable(lint_tree):
+    first = lint_tree(FIXTURE)
+    second = lint_tree(FIXTURE)
+    assert render_text(first, show_waived=True) \
+        == render_text(second, show_waived=True)
+    assert render_json(first) == render_json(second)
+
+
+def test_severity_counts(lint_tree):
+    report = lint_tree({"repro/experiments/mod.py": """\
+        x = 1  # repro-lint: waive[no-builtin-hash] -- nothing here
+
+        def key(y):
+            return hash(y)
+    """})
+    assert severity_counts(report) == {"error": 1, "warning": 1}

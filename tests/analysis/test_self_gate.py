@@ -1,0 +1,75 @@
+"""The shipped gates, run as tests.
+
+``repro-lint src/`` exiting 0 is an acceptance criterion of the tree,
+not just of CI — so the suite runs the same gate.  The mypy gate runs
+only where mypy is installed (CI installs it; the runtime environment
+does not need it).
+"""
+
+import io
+import subprocess
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Analyzer, default_rules
+from repro.analysis.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_source_tree_is_lint_clean(repo_src):
+    report = Analyzer(default_rules()).run([repo_src])
+    assert [f.as_dict() for f in report.unwaived] == []
+    # Waivers carry their justification or they would be findings.
+    assert all(f.waive_reason for f in report.waived)
+
+
+def test_cli_gate_exits_zero_on_src(repo_src):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main([str(repo_src)])
+    assert code == 0
+    assert buffer.getvalue().strip().endswith("file(s) checked")
+
+
+def test_cli_list_rules_names_every_default_rule():
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(["--list-rules"])
+    assert code == 0
+    listed = buffer.getvalue()
+    for rule in default_rules():
+        assert rule.id in listed
+
+
+def test_cli_rejects_unknown_rule():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--select", "no-such-rule", "src"])
+    assert excinfo.value.code == 2
+
+
+def test_cli_json_format(repo_src):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(["--format", "json", str(repo_src)])
+    assert code == 0
+    assert buffer.getvalue().startswith("{")
+
+
+def test_cli_nonzero_on_violation(tmp_path, capsys):
+    bad = tmp_path / "repro" / "uarch" / "mod.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import time\n")
+    assert main([str(tmp_path)]) == 1
+    assert "no-wallclock" in capsys.readouterr().out
+
+
+def test_mypy_gate():
+    pytest.importorskip("mypy")
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "src/repro"],
+        cwd=REPO_ROOT, capture_output=True, text=True)
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -1,0 +1,139 @@
+"""Cross-table checker: real-tree proof + mutation tests.
+
+The mutation tests copy the real table sources into a scratch tree,
+break exactly one table textually, and assert the checker catches it —
+proving the gate actually fires, not just that today's tree happens to
+pass.
+"""
+
+import shutil
+
+import pytest
+
+from repro.analysis import check_tables
+from repro.analysis.tables import (ASSEMBLER_FILE, COMPILED_FILE,
+                                   FUNCTIONAL_UNITS_FILE,
+                                   INSTRUCTION_FILE, OPCODES_FILE,
+                                   parse_compiled_kinds,
+                                   parse_fu_pools, parse_opcode_table)
+
+TABLE_FILES = (OPCODES_FILE, INSTRUCTION_FILE, ASSEMBLER_FILE,
+               COMPILED_FILE, FUNCTIONAL_UNITS_FILE)
+
+
+class TableTree:
+    """A scratch copy of the five table files, plus a mutator."""
+
+    def __init__(self, root, repo_src):
+        self.root = root
+        for rel in TABLE_FILES:
+            target = root / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            shutil.copyfile(repo_src / rel, target)
+
+    def mutate(self, rel, old, new):
+        path = self.root / rel
+        text = path.read_text()
+        assert old in text, f"mutation anchor {old!r} not in {rel}"
+        path.write_text(text.replace(old, new))
+
+    def __truediv__(self, rel):
+        return self.root / rel
+
+    def __fspath__(self):
+        return str(self.root)
+
+
+@pytest.fixture
+def table_tree(tmp_path, repo_src):
+    return TableTree(tmp_path, repo_src)
+
+
+def messages(findings):
+    return [f.message for f in findings]
+
+
+def test_real_tree_is_fully_covered(repo_src):
+    assert check_tables(repo_src) == []
+
+
+def test_extraction_sees_known_opcodes(repo_src):
+    entries = {e.name: e for e in
+               parse_opcode_table(repo_src / OPCODES_FILE)}
+    assert entries["add"].fmt == "RRR"
+    assert entries["add"].op_class == "INT_ALU"
+    assert entries["add"].exec_kind == "KIND_ALU"
+    assert entries["lw"].exec_kind == "KIND_LOAD"
+    assert entries["sw"].exec_kind == "KIND_STORE"
+    assert entries["beq"].exec_kind == "KIND_BRANCH"
+    assert entries["j"].exec_kind == "KIND_JUMP"
+    assert entries["mult"].exec_kind == "KIND_HILO"
+
+
+def test_mutation_removed_decode_entry(table_tree):
+    table_tree.mutate(ASSEMBLER_FILE,
+                      "fmt == Format.MEM", "fmt == Format.RRR")
+    found = messages(check_tables(table_tree))
+    assert any("'lw' (Format.MEM) has no decode entry" in m
+               for m in found)
+
+
+def test_mutation_removed_pool_mapping(table_tree):
+    table_tree.mutate(FUNCTIONAL_UNITS_FILE,
+                      "OpClass.LOAD_STORE: load_store,", "")
+    found = messages(check_tables(table_tree))
+    assert any("'lw' (OpClass.LOAD_STORE) has no FunctionalUnits pool"
+               in m for m in found)
+    assert any("OpClass.LOAD_STORE has no FunctionalUnits pool" in m
+               for m in found)
+
+
+def test_mutation_removed_kind_definition(table_tree):
+    table_tree.mutate(INSTRUCTION_FILE, "KIND_STORE = ", "_KIND_GONE = ")
+    found = messages(check_tables(table_tree))
+    assert any("maps to KIND_STORE, which instruction.py does not "
+               "define" in m for m in found)
+
+
+def test_mutation_removed_dispatch_arm(table_tree):
+    table_tree.mutate(COMPILED_FILE, "== KIND_HILO", "== KIND_NOP")
+    found = messages(check_tables(table_tree))
+    assert any("'mult' (KIND_HILO) has no handler in compile_exec"
+               in m for m in found)
+    assert any("KIND_HILO is defined but compile_exec has no handler"
+               in m for m in found)
+    assert any("KIND_HILO is defined but compile_ff has no handler"
+               in m for m in found)
+
+
+def test_mutation_duplicate_registration(table_tree):
+    opcodes = table_tree / OPCODES_FILE
+    opcodes.write_text(opcodes.read_text()
+                       + '\n_alu("add", Format.RRR, lambda a, b, i: a)\n')
+    found = messages(check_tables(table_tree))
+    assert any("'add' registered twice" in m for m in found)
+
+
+def test_meta_invariant_moved_table_fails_loudly(table_tree):
+    # A refactor renaming Assembler._build must not silently turn the
+    # decode-coverage check into a no-op.
+    table_tree.mutate(ASSEMBLER_FILE, "def _build", "def _construct")
+    found = messages(check_tables(table_tree))
+    assert found == ["Assembler._build handles no Format members"]
+
+
+def test_missing_table_file_is_a_finding(table_tree):
+    (table_tree / COMPILED_FILE).unlink()
+    found = messages(check_tables(table_tree))
+    assert found == [f"table files missing: {COMPILED_FILE}"]
+
+
+def test_parsers_agree_with_decode_priority(repo_src):
+    # Every exec kind the opcode table derives must be a kind the
+    # compiled table handles -- the invariant, restated over raw parses.
+    compiled = parse_compiled_kinds(repo_src / COMPILED_FILE)
+    kinds = {e.exec_kind for e in
+             parse_opcode_table(repo_src / OPCODES_FILE)}
+    assert kinds <= compiled["compile_exec"]
+    assert kinds <= compiled["compile_ff"]
+    assert parse_fu_pools(repo_src / FUNCTIONAL_UNITS_FILE)

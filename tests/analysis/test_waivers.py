@@ -1,0 +1,93 @@
+"""Waiver syntax: placement, file scope, hygiene (bad/unused)."""
+
+from repro.analysis.core import parse_waivers
+
+
+def by_rule(report, rule_id):
+    return [f for f in report.findings if f.rule == rule_id]
+
+
+def test_trailing_waiver_covers_its_own_line(lint_tree):
+    report = lint_tree({"repro/experiments/mod.py": """\
+        def key(x):
+            return hash(x)  # repro-lint: waive[no-builtin-hash] -- key never leaves this process
+    """})
+    assert not report.unwaived
+    (waived,) = report.waived
+    assert waived.rule == "no-builtin-hash"
+    assert waived.waive_reason == "key never leaves this process"
+
+
+def test_comment_alone_waives_next_line(lint_tree):
+    report = lint_tree({"repro/experiments/mod.py": """\
+        def key(x):
+            # repro-lint: waive[no-builtin-hash] -- key never leaves this process
+            return hash(x)
+    """})
+    assert not report.unwaived
+    assert len(report.waived) == 1
+
+
+def test_file_waiver_covers_every_line(lint_tree):
+    report = lint_tree({"repro/experiments/mod.py": """\
+        # repro-lint: waive-file[no-builtin-hash] -- in-memory memo only
+        def key(x):
+            return hash(x)
+
+        def key2(x):
+            return hash((x, x))
+    """})
+    assert not report.unwaived
+    assert len(report.waived) == 2
+
+
+def test_waiver_without_justification_is_bad(lint_tree):
+    report = lint_tree({"repro/experiments/mod.py": """\
+        def key(x):
+            return hash(x)  # repro-lint: waive[no-builtin-hash]
+    """})
+    # The waiver does not take effect AND is itself reported.
+    assert by_rule(report, "no-builtin-hash")
+    (bad,) = by_rule(report, "bad-waiver")
+    assert "missing a '-- justification'" in bad.message
+
+
+def test_unparseable_waiver_comment_is_bad(lint_tree):
+    report = lint_tree({"repro/experiments/mod.py": """\
+        # repro-lint: wave[no-builtin-hash] -- typo in the verb
+        x = 1
+    """})
+    (bad,) = by_rule(report, "bad-waiver")
+    assert bad.line == 1
+
+
+def test_unused_waiver_is_warned(lint_tree):
+    report = lint_tree({"repro/experiments/mod.py": """\
+        x = 1  # repro-lint: waive[no-builtin-hash] -- nothing to waive here
+    """})
+    (unused,) = by_rule(report, "unused-waiver")
+    assert unused.line == 1
+    assert unused.severity.value == "warning"
+    assert report.exit_code() == 0  # warnings never gate
+
+
+def test_waiver_for_other_rule_does_not_apply(lint_tree):
+    report = lint_tree({"repro/experiments/mod.py": """\
+        def key(x):
+            return hash(x)  # repro-lint: waive[atomic-write] -- wrong rule id
+    """})
+    assert by_rule(report, "no-builtin-hash")
+    assert by_rule(report, "unused-waiver")
+
+
+def test_parse_waivers_registration_points():
+    waivers = parse_waivers(
+        "x = 1  # repro-lint: waive[r1] -- trailing\n"
+        "# repro-lint: waive[r2] -- alone\n"
+        "y = 2\n"
+        "# repro-lint: waive-file[r3] -- whole file\n")
+    assert waivers.lookup(1, "r1") == "trailing"
+    assert waivers.lookup(3, "r2") == "alone"
+    assert waivers.lookup(2, "r2") is None
+    assert waivers.lookup(99, "r3") == "whole file"
+    assert not waivers.errors

@@ -1,5 +1,7 @@
 """Unit tests for statistics and derived metrics."""
 
+import json
+
 import pytest
 
 from repro.metrics import SimStats, harmonic_mean, speedup
@@ -90,6 +92,50 @@ class TestSerialisation:
         payload["new_counter_block"] = {"a": 1}
         clone = SimStats.from_dict(payload)
         assert clone.cycles == 10 and clone.committed == 20
+
+
+class TestCanonicalJson:
+    """canonical_json() is a byte contract: explicit key-order checks."""
+
+    def test_keys_are_sorted(self):
+        stats = SimStats(config_name="base", cycles=10, committed=20)
+        payload = json.loads(stats.canonical_json())
+        assert list(payload) == sorted(payload)
+
+    def test_bytes_independent_of_insertion_order(self):
+        forward, backward = SimStats(), SimStats()
+        forward.record_exec_histogram(2)
+        forward.record_exec_histogram(10)
+        backward.record_exec_histogram(10)
+        backward.record_exec_histogram(2)
+        assert forward.canonical_json() == backward.canonical_json()
+
+    def test_histogram_int_keys_sort_numerically(self):
+        # int keys sort 2 < 10; stringified keys would sort "10" < "2"
+        # and silently reorder every cache/golden byte stream.  The
+        # numeric order is pinned here as part of the byte format.
+        stats = SimStats()
+        stats.record_exec_histogram(10)
+        stats.record_exec_histogram(2)
+        text = stats.canonical_json()
+        assert text.index('"2"') < text.index('"10"')
+
+    def test_matches_plain_sorted_dumps(self):
+        # The validating serializer must not change a single byte
+        # relative to the historical format (cache compatibility).
+        stats = SimStats(cycles=7, committed=9)
+        stats.record_exec_histogram(3)
+        assert stats.canonical_json() == json.dumps(
+            stats.as_dict(), indent=1, sort_keys=True)
+
+    def test_rejects_unsortable_payload(self):
+        # A refactor that mixes key types in any serialized dict now
+        # fails at the writer instead of corrupting byte identity.
+        stats = SimStats()
+        stats.exec_count_histogram[1] = 1
+        stats.exec_count_histogram["1"] = 1
+        with pytest.raises(ValueError, match="mixed str/int"):
+            stats.canonical_json()
 
 
 class TestAggregation:

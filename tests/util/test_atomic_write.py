@@ -1,0 +1,50 @@
+"""atomic_write_bytes/_text: the single sanctioned store-write path."""
+
+import pytest
+
+from repro.util import atomic_write_bytes, atomic_write_text
+
+
+def test_writes_bytes(tmp_path):
+    target = tmp_path / "store" / "entry.bin"
+    atomic_write_bytes(target, b"\x00payload")
+    assert target.read_bytes() == b"\x00payload"
+
+
+def test_writes_text(tmp_path):
+    target = tmp_path / "entry.json"
+    atomic_write_text(target, '{"a": 1}\n')
+    assert target.read_text() == '{"a": 1}\n'
+
+
+def test_creates_parent_directories(tmp_path):
+    target = tmp_path / "a" / "b" / "c.txt"
+    atomic_write_text(target, "deep")
+    assert target.read_text() == "deep"
+
+
+def test_replaces_existing_content(tmp_path):
+    target = tmp_path / "entry.txt"
+    atomic_write_text(target, "old")
+    atomic_write_text(target, "new")
+    assert target.read_text() == "new"
+
+
+def test_no_temp_files_left_behind(tmp_path):
+    target = tmp_path / "entry.txt"
+    atomic_write_text(target, "data")
+    assert [p.name for p in tmp_path.iterdir()] == ["entry.txt"]
+
+
+def test_failed_write_leaves_no_temp_and_keeps_old(tmp_path):
+    target = tmp_path / "entry.txt"
+    atomic_write_text(target, "original")
+
+    class Exploding:
+        def encode(self, encoding):
+            return self  # not bytes: handle.write() raises
+
+    with pytest.raises(TypeError):
+        atomic_write_text(target, Exploding())
+    assert target.read_text() == "original"
+    assert [p.name for p in tmp_path.iterdir()] == ["entry.txt"]

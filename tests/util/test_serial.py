@@ -1,0 +1,65 @@
+"""canonical_dumps: byte compatibility + the invariants it enforces."""
+
+import json
+
+import pytest
+
+from repro.util import canonical_dumps, validate_canonical
+
+
+class TestByteCompatibility:
+    def test_identical_to_sorted_dumps(self):
+        payload = {"b": 1, "a": [1, 2, {"z": None, "y": True}],
+                   "c": {"nested": "x"}}
+        assert canonical_dumps(payload) == json.dumps(
+            payload, indent=1, sort_keys=True)
+
+    def test_int_keys_sort_numerically(self):
+        payload = {10: "ten", 2: "two"}
+        text = canonical_dumps(payload)
+        assert text == json.dumps(payload, indent=1, sort_keys=True)
+        assert text.index('"2"') < text.index('"10"')
+
+    def test_insertion_order_is_erased(self):
+        assert canonical_dumps({"a": 1, "b": 2}) \
+            == canonical_dumps({"b": 2, "a": 1})
+
+    def test_indent_none_compact_form(self):
+        assert canonical_dumps({"b": 1, "a": 2}, indent=None) \
+            == '{"a": 2, "b": 1}'
+
+
+class TestRejections:
+    def test_mixed_key_types(self):
+        with pytest.raises(ValueError, match="mixed str/int"):
+            canonical_dumps({"1": "str", 2: "int"})
+
+    def test_mixed_keys_in_nested_dict_named_in_context(self):
+        with pytest.raises(ValueError, match=r"payload\['outer'\]"):
+            canonical_dumps({"outer": {"1": 0, 2: 0}})
+
+    def test_bool_keys(self):
+        with pytest.raises(ValueError, match="bool dict keys"):
+            canonical_dumps({True: 1})
+
+    def test_unsortable_key_type(self):
+        with pytest.raises(ValueError, match="unsortable dict key"):
+            canonical_dumps({(1, 2): "tuple key"})
+
+    def test_non_finite_float(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            canonical_dumps({"x": float("nan")})
+
+    def test_non_jsonable_object(self):
+        with pytest.raises(ValueError, match="not JSON-representable"):
+            canonical_dumps({"x": object()})
+
+
+class TestValidateCanonical:
+    def test_accepts_canonical_payloads(self):
+        validate_canonical({"a": [1, 2.5, "s", None, False],
+                            "b": {2: "int-keyed", 10: "histogram"}})
+
+    def test_walks_lists_and_tuples(self):
+        with pytest.raises(ValueError, match=r"payload\[1\]\[0\]"):
+            validate_canonical(["fine", [{1: 0, "1": 0}]])
