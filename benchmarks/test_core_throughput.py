@@ -24,12 +24,25 @@ from pathlib import Path
 
 import pytest
 
-from repro.uarch.config import base_config, hybrid_config
+from repro.uarch.config import (
+    PredictorKind,
+    base_config,
+    hybrid_config,
+    vp_config,
+)
 from repro.uarch.core import OutOfOrderCore
 from repro.workloads import get_workload
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 BENCH_FILE = REPO_ROOT / "BENCH_core.json"
+
+
+def zoo_select_config():
+    """The predictor-zoo hybrid selector (stride/LVP/FCM arbitration):
+    the most state-heavy realistic predictor, so its wallclock cost is
+    the one worth tracking."""
+    return vp_config(PredictorKind.HYBRID_SELECT)
+
 
 # The timed kernel: enough work that interpreter warm-up is amortised,
 # small enough that the whole gate stays in seconds.
@@ -37,6 +50,7 @@ KERNEL = [
     ("compress", base_config, 20_000),
     ("go", base_config, 20_000),
     ("compress", hybrid_config, 10_000),
+    ("compress", zoo_select_config, 10_000),
 ]
 REGRESSION_TOLERANCE = 0.20  # warn when >20% below the committed number
 HISTORY_LIMIT = 20  # benchmark runs kept in the ``history`` list

@@ -42,6 +42,8 @@ CONFIG_FACTORIES = {
     "vp": vp_config,
     "vp-lvp": lambda: vp_config(PredictorKind.LAST_VALUE),
     "vp-stride": lambda: vp_config(PredictorKind.STRIDE),
+    "vp-fcm": lambda: vp_config(PredictorKind.FCM),
+    "vp-select": lambda: vp_config(PredictorKind.HYBRID_SELECT),
     "hybrid": hybrid_config,
 }
 
@@ -53,8 +55,11 @@ def build_parser() -> argparse.ArgumentParser:
                     "(MICRO 1998) machine model")
     parser.add_argument("source", nargs="?", type=Path,
                         help="assembly file (omit when using --workload)")
-    parser.add_argument("--workload", choices=sorted(workload_names()),
-                        help="run a bundled SPECint95 analog instead")
+    parser.add_argument("--workload", metavar="NAME",
+                        help="run a bundled SPECint95 analog "
+                             f"({', '.join(sorted(workload_names()))}) "
+                             "or a generated 'gen-...' workload "
+                             "(see repro-gen)")
     parser.add_argument("--variant", default="ref",
                         help="workload input variant (ref/train)")
     parser.add_argument("--config", nargs="+", default=["base"],
@@ -117,7 +122,13 @@ def _per_config_path(path: Path, config_name: str,
 
 def _load_program(args):
     if args.workload:
-        spec = get_workload(args.workload)
+        try:
+            spec = get_workload(args.workload)
+        except (KeyError, ValueError) as exc:
+            raise SystemExit(
+                f"unknown workload {args.workload!r} "
+                f"(bundled: {', '.join(sorted(workload_names()))}; "
+                f"or a canonical 'gen-...' name): {exc}")
         skip = args.skip if args.skip is not None \
             else spec.skip_instructions
         label = f"{args.workload} ({args.variant})"

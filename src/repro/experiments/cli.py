@@ -46,6 +46,7 @@ from . import (
     table4,
     table5,
     table6,
+    zoo,
 )
 
 
@@ -70,6 +71,7 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentRunner], List[Report]]] = {
     "ablations": ablations.run,
     "sensitivity": _single(sensitivity),
     "breakdown": _single(breakdown_experiment),
+    "zoo": _single(zoo),
 }
 
 #: Each experiment's (workload, config) pairs, so a multi-experiment
@@ -92,6 +94,7 @@ PAIRS: Dict[str, Callable[[], List[Pair]]] = {
     "ablations": ablations.pairs,
     "sensitivity": sensitivity.pairs,
     "breakdown": breakdown_experiment.pairs,
+    "zoo": zoo.pairs,
 }
 
 

@@ -12,6 +12,7 @@ from ..uarch.config import (
     ReexecPolicy,
     base_config,
     ir_config,
+    vfr_config,
     vp_config,
 )
 
@@ -67,6 +68,21 @@ def evaluation_configs(verify_latencies=(0, 1)) -> List[MachineConfig]:
     for config in configs:
         unique.setdefault(config.name, config)
     return list(unique.values())
+
+
+#: The realistic predictor-zoo kinds (MAGIC and PERFECT are oracles).
+ZOO_KINDS = (PredictorKind.LAST_VALUE, PredictorKind.STRIDE,
+             PredictorKind.FCM, PredictorKind.HYBRID_SELECT)
+
+
+def zoo_configs() -> List[MachineConfig]:
+    """Base plus every realistic predictor kind (ME-SB, zero-latency
+    verify) plus the variable-fetch-rate frontend on the hybrid: the
+    configuration axis of the predictor-zoo experiment."""
+    configs = [BASE]
+    configs += [vp_config(kind) for kind in ZOO_KINDS]
+    configs.append(vfr_config(PredictorKind.HYBRID_SELECT))
+    return configs
 
 
 def sweep_pairs(workloads, verify_latencies=(0, 1)):

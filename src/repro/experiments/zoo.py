@@ -1,0 +1,82 @@
+"""Predictor zoo over generated workloads: redundancy vs coverage.
+
+The paper's footnote 3 bounds value-predictable instructions by the
+measured redundancy (Figure 8).  This experiment turns that bound into
+an *independent variable*: the seeded workload generator
+(:mod:`repro.workloads.generator`) manufactures programs whose result
+redundancy is dialled from near-zero to near-total, and every realistic
+predictor in the zoo (last-value, stride, order-2 FCM, the hybrid
+selector, and the hybrid under the variable-fetch-rate frontend) runs
+over each one.  Columns report the measured redundancy next to each
+predictor's correct-prediction rate and speedup, so the table reads as
+"how much of the paper's bound does each scheme actually capture as the
+bound grows?".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..metrics.report import Report
+from ..metrics.stats import speedup
+from ..workloads.generator import GeneratorKnobs, measure
+from .configs import BASE, zoo_configs
+from .runner import ExperimentRunner, Pair
+
+#: The generated-workload redundancy sweep: one row per knob setting.
+REDUNDANCY_POINTS = (0.1, 0.35, 0.6, 0.85)
+_SEED = 7
+_SIZE = 48
+_TRIPS = 200
+_BRANCH_ENTROPY = 0.25
+
+
+def zoo_knobs() -> List[GeneratorKnobs]:
+    """The generator knob settings of the redundancy sweep."""
+    return [GeneratorKnobs(seed=_SEED, size=_SIZE, trips=_TRIPS,
+                           result_redundancy=point,
+                           branch_entropy=_BRANCH_ENTROPY)
+            for point in REDUNDANCY_POINTS]
+
+
+def zoo_workloads() -> List[str]:
+    """Canonical names (materialised on demand by ``get_workload``)."""
+    return [knobs.name for knobs in zoo_knobs()]
+
+
+def pairs() -> List[Pair]:
+    return [(name, config)
+            for name in zoo_workloads()
+            for config in zoo_configs()]
+
+
+def run(runner: ExperimentRunner) -> Report:
+    configs = zoo_configs()
+    predictor_configs = [c for c in configs if c.name != BASE.name]
+    report = Report(
+        title="Predictor zoo: correct result predictions per committed "
+              "instruction vs generated-workload redundancy",
+        headers=["workload", "redundant%"]
+                + [f"{c.name} rate" for c in predictor_configs]
+                + [f"{c.name} speedup" for c in predictor_configs],
+    )
+    for knobs in zoo_knobs():
+        name = knobs.name
+        measured = measure(knobs)
+        base = runner.run(name, BASE)
+        rates: List[float] = []
+        speedups: List[float] = []
+        for config in predictor_configs:
+            stats = runner.run(name, config)
+            rates.append(100.0 * stats.vp_result_rate)
+            speedups.append(speedup(stats, base))
+        report.add_row(f"r={knobs.result_redundancy:.2f}",
+                       measured["redundant"], *rates, *speedups)
+    report.add_note(
+        "workloads: " + ", ".join(zoo_workloads()))
+    report.add_note(
+        "redundant% is the functional-simulation Figure 8 bound "
+        "(repeated + derivable); rate is vp_result_correct/committed "
+        "in the timing model — footnote 3 says rate cannot exceed the "
+        "bound, and the gap is each predictor's unreached headroom")
+    return report

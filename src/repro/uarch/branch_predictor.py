@@ -25,6 +25,9 @@ class BranchPrediction:
     target: Optional[int]  # None when no target is available (stall-safe)
     history_before: int  # GHR snapshot for repair and for the update index
     ras_snapshot: Tuple[int, ...] = ()  # RAS contents before this prediction
+    # True when the direction came from a weak (0b01/0b10) counter; the
+    # variable-fetch-rate frontend throttles behind such branches.
+    low_confidence: bool = False
 
 
 class Gshare:
@@ -48,6 +51,16 @@ class Gshare:
         taken = self.counters[self.index(pc, self.history)] >= 2
         self._shift_history(taken)
         return taken
+
+    def confidence(self, pc: int, history: int) -> bool:
+        """True when the counter for (pc, history) is saturated (0 or 3).
+
+        Weak counters (1/2) are the low-confidence band the
+        variable-fetch-rate frontend throttles on.  Read-only: call with
+        the pre-prediction history snapshot.
+        """
+        counter = self.counters[self.index(pc, history)]
+        return counter == 0 or counter == 3
 
     def update(self, pc: int, taken: bool, history_before: int) -> None:
         """Train the counter that made the prediction (done at commit)."""
@@ -119,7 +132,10 @@ class BranchPredictorUnit:
         history = self.gshare.history
         ras = self.ras.snapshot()
         taken = self.gshare.predict(pc)
-        return BranchPrediction(taken, target if taken else None, history, ras)
+        return BranchPrediction(taken, target if taken else None, history,
+                                ras,
+                                low_confidence=not self.gshare.confidence(
+                                    pc, history))
 
     def predict_call(self, pc: int, return_address: int,
                      target: Optional[int]) -> BranchPrediction:

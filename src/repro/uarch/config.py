@@ -54,6 +54,8 @@ class PredictorKind(enum.Enum):
     MAGIC = "magic"  # VP_Magic: n unique values + oracle selection
     LAST_VALUE = "lvp"  # VP_LVP: single last value per instruction
     STRIDE = "stride"  # two-delta stride predictor (extension)
+    FCM = "fcm"  # order-2 finite-context-method predictor (extension)
+    HYBRID_SELECT = "select"  # confidence-gated stride/LVP/FCM selector
     PERFECT = "perfect"  # oracle: always correct (upper-bound studies)
 
 
@@ -98,6 +100,11 @@ class VPConfig:
     predict_results: bool = True
     predict_addresses: bool = True
     ports: int = 4  # reads/writes per cycle = predictions per cycle
+    # Order of the finite-context-method predictor (PredictorKind.FCM
+    # and the FCM component of HYBRID_SELECT): how many recent values
+    # form the context hash.  Two is the classic Sazeides & Smith
+    # design point; kept configurable for sensitivity studies.
+    fcm_order: int = 2
 
     @property
     def max_confidence(self) -> int:
@@ -147,6 +154,16 @@ class MachineConfig:
     int_mult_div_units: int = 1
     fp_adders: int = 4
     fp_mult_div_units: int = 1
+
+    # Variable instruction fetch rate (arXiv 1707.04657): when enabled,
+    # a low-confidence conditional-branch prediction ends the fetch
+    # group, and the following cycle fetches at the reduced
+    # ``vfr_low_conf_width`` — modelling a frontend that throttles
+    # behind branches it does not trust instead of flooding the window
+    # with likely-wrong-path work.  Timing-only: architectural results
+    # are unchanged (the differential oracle covers this knob).
+    variable_fetch_rate: bool = False
+    vfr_low_conf_width: int = 2
 
     icache: CacheConfig = field(default_factory=lambda: CacheConfig(ports=1))
     dcache: CacheConfig = field(default_factory=CacheConfig)
@@ -210,6 +227,25 @@ def vp_config(kind: PredictorKind = PredictorKind.MAGIC,
     return MachineConfig(name=name, vp=vp, **overrides)
 
 
+def vfr_config(kind: Optional[PredictorKind] = None,
+               low_conf_width: int = 2,
+               **overrides) -> MachineConfig:
+    """Variable-fetch-rate frontend, optionally on top of a VP scheme.
+
+    With ``kind=None`` this is the base machine with the throttled
+    frontend; with a predictor kind it is that kind's ME-SB-v0
+    configuration plus the frontend knob, so the interaction between
+    value speculation and a confidence-aware fetch can be studied.
+    """
+    if kind is None:
+        base = MachineConfig(**overrides)
+    else:
+        base = vp_config(kind, **overrides)
+    return replace(base, name=f"{base.name}-vfr",
+                   variable_fetch_rate=True,
+                   vfr_low_conf_width=low_conf_width)
+
+
 def hybrid_config(kind: PredictorKind = PredictorKind.MAGIC,
                   verify_latency: int = 0,
                   branches: BranchPolicy = BranchPolicy.SPECULATIVE,
@@ -235,11 +271,20 @@ def hybrid_config(kind: PredictorKind = PredictorKind.MAGIC,
     )
 
 
-def all_vp_configs(kind: PredictorKind,
-                   verify_latency: int) -> "list[MachineConfig]":
-    """The four ME/NME x SB/NSB configurations of Section 4.1.4."""
+def all_vp_configs(kind: Optional[PredictorKind] = None,
+                   verify_latency: int = 0) -> "list[MachineConfig]":
+    """The four ME/NME x SB/NSB configurations of Section 4.1.4.
+
+    With ``kind=None``, enumerates the matrix for **every**
+    :class:`PredictorKind` member — the predictor-zoo sweep.  Iterating
+    the enum itself (not a hand-maintained list) is what guarantees a
+    newly added kind cannot silently miss the sweeps; the coverage test
+    in ``tests/uarch/test_config.py`` pins this.
+    """
+    kinds = list(PredictorKind) if kind is None else [kind]
     return [
-        vp_config(kind, reexec, branches, verify_latency)
+        vp_config(one_kind, reexec, branches, verify_latency)
+        for one_kind in kinds
         for reexec in (ReexecPolicy.MULTIPLE, ReexecPolicy.SINGLE)
         for branches in (BranchPolicy.SPECULATIVE,
                          BranchPolicy.NON_SPECULATIVE)

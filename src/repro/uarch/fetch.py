@@ -57,6 +57,12 @@ class FetchUnit:
         # on a redirect or inside an I-cache miss).  Telemetry-only: not
         # part of SimStats, so golden byte-identity is untouched.
         self.stall_cycles = 0
+        # Variable fetch rate (config.variable_fetch_rate): a fetched
+        # conditional branch with a weak direction counter ends the
+        # group, and the next cycle runs at the reduced width.  Both
+        # counters are telemetry-only (not SimStats).
+        self.vfr_throttles = 0
+        self._vfr_slow_cycle = -1
 
     def redirect(self, target: int, cycle: int) -> None:
         """Squash recovery: restart fetch at *target* next cycle."""
@@ -64,6 +70,7 @@ class FetchUnit:
         self.fetch_pc = target
         self.blocked = False
         self.stall_until = max(self.stall_until, cycle + 1)
+        self._vfr_slow_cycle = -1  # the throttling branch is gone
 
     def room(self) -> int:
         return self.config.fetch_queue_size - len(self.queue)
@@ -81,6 +88,9 @@ class FetchUnit:
         queue = self.queue
         room = self.config.fetch_queue_size - len(queue)
         width = self.config.fetch_width
+        if self._vfr_slow_cycle == cycle:
+            width = min(width, self.config.vfr_low_conf_width)
+        throttle = self.config.variable_fetch_rate
         while fetched < width and room > 0:
             pc = self.fetch_pc
             op = table.get(pc)
@@ -114,6 +124,14 @@ class FetchUnit:
                 self.blocked = True  # unpredicted indirect target
                 break
             self.fetch_pc = next_pc
+            if throttle and prediction is not None and op.is_branch \
+                    and prediction.low_confidence:
+                # Variable fetch rate: do not race ahead of a branch the
+                # predictor is unsure about — end this group and fetch
+                # the next cycle at the reduced width.
+                self.vfr_throttles += 1
+                self._vfr_slow_cycle = cycle + 1
+                break
             if stop:
                 break  # only one taken branch per cycle
         return fetched

@@ -1,5 +1,12 @@
-"""Value prediction: VPT structure and VP_Magic / VP_LVP predictors."""
+"""Value prediction: the VPT structure and the predictor zoo.
 
+Predictors: VP_Magic / VP_LVP (the paper's Section 4.1.1 pair), the
+two-delta stride predictor, the order-2 FCM predictor, and the
+confidence-gated stride/LVP/FCM hybrid selector.
+"""
+
+from .fcm import FCMPredictor, FCMTable
+from .hybrid_select import HybridSelectPredictor
 from .predictors import ValuePredictor, make_predictor
 from .stride import StrideEntry, StridePredictor, StrideTable
 from .table import KIND_ADDRESS, KIND_RESULT, ValuePredictionTable, VPTInstance
@@ -10,6 +17,9 @@ __all__ = [
     "StridePredictor",
     "StrideTable",
     "StrideEntry",
+    "FCMPredictor",
+    "FCMTable",
+    "HybridSelectPredictor",
     "ValuePredictionTable",
     "VPTInstance",
     "KIND_RESULT",

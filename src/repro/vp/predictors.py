@@ -145,6 +145,12 @@ def make_predictor(config: VPConfig):
     if config.kind == PredictorKind.STRIDE:
         from .stride import StridePredictor
         return StridePredictor(config)
+    if config.kind == PredictorKind.FCM:
+        from .fcm import FCMPredictor
+        return FCMPredictor(config)
+    if config.kind == PredictorKind.HYBRID_SELECT:
+        from .hybrid_select import HybridSelectPredictor
+        return HybridSelectPredictor(config)
     if config.kind == PredictorKind.PERFECT:
         return PerfectPredictor(config)
     return ValuePredictor(config)

@@ -1,5 +1,12 @@
-"""SPECint95-analog workloads and the random program generator."""
+"""SPECint95-analog workloads and the program generators."""
 
+from .generator import (
+    GeneratedProgramBuilder,
+    GeneratorKnobs,
+    generated_program,
+    generated_spec,
+    knobs_from_name,
+)
 from .random_program import RandomProgramBuilder, random_program
 from .spec import (
     PaperReference,
@@ -11,6 +18,11 @@ from .spec import (
 )
 
 __all__ = [
+    "GeneratedProgramBuilder",
+    "GeneratorKnobs",
+    "generated_program",
+    "generated_spec",
+    "knobs_from_name",
     "RandomProgramBuilder",
     "random_program",
     "PaperReference",

@@ -1,0 +1,425 @@
+"""Seeded workload generator with redundancy and branch-entropy knobs.
+
+Where :mod:`repro.workloads.random_program` maximises ISA coverage for
+differential testing, this generator manufactures *characterised*
+workloads: programs whose result redundancy (the paper's Figure 8
+classification) and branch predictability are dialled in by two knobs,
+so experiments can ask "how does each predictor's coverage track the
+redundancy of the value stream?" with the workload as the independent
+variable instead of whatever the seven analogs happen to provide.
+
+Construction
+============
+
+A generated program is one counted outer loop (``trips`` iterations —
+terminating by construction, like every workload in this repository)
+whose body is ``size`` generated statements:
+
+* **redundant producers** (probability ``result_redundancy``): ALU ops
+  over a pool of constant registers, or loads from fixed read-only
+  buffer slots.  Every dynamic instance after the first produces a value
+  already seen → the classifier counts it *repeated*.
+* **fresh producers** (otherwise): each advances a register-resident
+  LCG (multiply + odd increment, full period 2^32) and folds the state
+  into a destination, or stores the state and reloads it.  Values never
+  revisit and never fall on a stride → *unique*.
+* **branch sites** (one per ~8 statements): *noisy* with probability
+  ``branch_entropy`` — the direction is a mid bit of a fresh LCG draw,
+  effectively random to the gshare predictor — otherwise *biased*, a
+  compare of two constant registers whose direction never changes.
+
+Determinism contract: the same knobs always produce byte-identical
+assembly (the only randomness is ``random.Random(seed)``), and the knob
+floats are quantised to permille so a knob set survives the round-trip
+through its workload name.
+
+Naming
+======
+
+Every knob set has a canonical, self-describing workload name::
+
+    gen-s<seed>-n<size>-t<trips>-r<permille>-b<permille>
+
+``repro.workloads.get_workload`` materialises any such name on demand
+(without touching the registry of the seven paper analogs), which makes
+generated workloads first-class citizens of the experiment runner: the
+cache key machinery, checkpoint store and multiprocessing workers —
+which rebuild workloads by name — all work unchanged.
+
+``repro-gen`` is the command-line face of this module.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import re
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .spec import PaperReference, WorkloadSpec
+
+# Register plan (disjoint roles, so statement kinds never interfere):
+#   $s0-$s3, $s7  constant pool (redundant-producer operands)
+#   $t0-$t6       scratch destinations (write-mostly)
+#   $t7           LCG state, $t8 LCG multiplier
+#   $t9           branch-condition scratch
+#   $s4, $s5      inner/outer loop counters
+#   $s6           memory base
+_CONST_REGS = ["$s0", "$s1", "$s2", "$s3", "$s7"]
+_DEST_REGS = ["$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6"]
+_LCG_STATE = "$t7"
+_LCG_MULT = "$t8"
+_COND_REG = "$t9"
+_INNER_COUNTER = "$s4"
+_OUTER_COUNTER = "$s5"
+_MEM_BASE = "$s6"
+
+_BUFFER_WORDS = 64
+#: Buffer split: slots [0, _RO_WORDS) are read-only (redundant loads),
+#: the rest are scratch (fresh store/load round-trips).
+_RO_WORDS = _BUFFER_WORDS // 2
+
+#: ALU ops whose result over constant operands is constant.
+_REDUNDANT_OPS = ["add", "addu", "sub", "subu", "and", "or", "xor",
+                  "nor", "slt", "sltu"]
+#: ALU ops that keep the LCG's full entropy in the destination.
+_FRESH_OPS = ["add", "addu", "xor", "sub"]
+
+_NAME_RE = re.compile(
+    r"gen-s(?P<seed>\d+)-n(?P<size>\d+)-t(?P<trips>\d+)"
+    r"-r(?P<r>\d{1,4})-b(?P<b>\d{1,4})$")
+
+
+def _quantize(value: float) -> float:
+    """Clamp to [0, 1] and quantise to permille (the name resolution)."""
+    return round(min(1.0, max(0.0, value)) * 1000) / 1000
+
+
+@dataclass(frozen=True)
+class GeneratorKnobs:
+    """The tunable characteristics of one generated workload."""
+
+    seed: int = 0
+    size: int = 48  # generated body statements per outer iteration
+    trips: int = 50  # outer-loop trip count (termination bound)
+    result_redundancy: float = 0.5  # fraction of redundant producers
+    branch_entropy: float = 0.5  # fraction of noisy branch sites
+
+    def __post_init__(self):
+        object.__setattr__(self, "result_redundancy",
+                           _quantize(self.result_redundancy))
+        object.__setattr__(self, "branch_entropy",
+                           _quantize(self.branch_entropy))
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+        if self.size < 8:
+            raise ValueError("size must be at least 8 statements")
+        if self.trips < 1:
+            raise ValueError("trips must be positive")
+
+    @property
+    def name(self) -> str:
+        """Canonical self-describing workload name (permille knobs)."""
+        return (f"gen-s{self.seed}-n{self.size}-t{self.trips}"
+                f"-r{round(self.result_redundancy * 1000)}"
+                f"-b{round(self.branch_entropy * 1000)}")
+
+
+def knobs_from_name(name: str) -> GeneratorKnobs:
+    """Invert :attr:`GeneratorKnobs.name`; raises ``ValueError``."""
+    match = _NAME_RE.fullmatch(name)
+    if match is None:
+        raise ValueError(
+            f"{name!r} is not a generated-workload name "
+            "(expected gen-s<seed>-n<size>-t<trips>-r<permille>-b<permille>)")
+    return GeneratorKnobs(
+        seed=int(match.group("seed")),
+        size=int(match.group("size")),
+        trips=int(match.group("trips")),
+        result_redundancy=int(match.group("r")) / 1000,
+        branch_entropy=int(match.group("b")) / 1000)
+
+
+class GeneratedProgramBuilder:
+    """Builds one characterised program; deterministic given the knobs."""
+
+    def __init__(self, knobs: GeneratorKnobs):
+        self.knobs = knobs
+        self.rng = random.Random(knobs.seed)
+        self.lines: List[str] = []
+        self.label_count = 0
+        # Error-diffusion accumulator for noisy-branch placement: with
+        # only ~size/8 sites, per-site coin flips would let the realised
+        # noisy fraction drift far from the knob on unlucky seeds; the
+        # accumulator pins it to ``branch_entropy`` exactly.
+        self._entropy_acc = 0.0
+
+    def _label(self) -> str:
+        self.label_count += 1
+        return f"G{self.label_count}"
+
+    def _emit(self, text: str) -> None:
+        self.lines.append("        " + text)
+
+    def _dest(self) -> str:
+        return self.rng.choice(_DEST_REGS)
+
+    def _const(self) -> str:
+        return self.rng.choice(_CONST_REGS)
+
+    # -- producer statements -----------------------------------------------------
+
+    def _advance_lcg(self) -> None:
+        """One LCG step: state = state * mult + odd increment (mod 2^32)."""
+        increment = self.rng.randrange(0, 2**15) * 2 + 1
+        self._emit(f"mul {_LCG_STATE}, {_LCG_STATE}, {_LCG_MULT}")
+        self._emit(f"addi {_LCG_STATE}, {_LCG_STATE}, {increment}")
+
+    def _gen_redundant_alu(self) -> None:
+        op = self.rng.choice(_REDUNDANT_OPS)
+        self._emit(f"{op} {self._dest()}, {self._const()}, {self._const()}")
+
+    def _gen_redundant_load(self) -> None:
+        offset = 4 * self.rng.randrange(0, _RO_WORDS)
+        self._emit(f"lw {self._dest()}, {offset}({_MEM_BASE})")
+
+    def _gen_fresh_alu(self) -> None:
+        self._advance_lcg()
+        op = self.rng.choice(_FRESH_OPS)
+        self._emit(f"{op} {self._dest()}, {_LCG_STATE}, {self._const()}")
+
+    def _gen_fresh_load(self) -> None:
+        """Store a fresh LCG draw, immediately load it back: the load's
+        result stream is unique even though its address is constant."""
+        self._advance_lcg()
+        offset = 4 * self.rng.randrange(_RO_WORDS, _BUFFER_WORDS)
+        self._emit(f"sw {_LCG_STATE}, {offset}({_MEM_BASE})")
+        self._emit(f"lw {self._dest()}, {offset}({_MEM_BASE})")
+
+    def _gen_producer(self) -> None:
+        if self.rng.random() < self.knobs.result_redundancy:
+            if self.rng.random() < 0.3:
+                self._gen_redundant_load()
+            else:
+                self._gen_redundant_alu()
+        else:
+            if self.rng.random() < 0.3:
+                self._gen_fresh_load()
+            else:
+                self._gen_fresh_alu()
+
+    # -- branch sites -------------------------------------------------------------
+
+    def _gen_branch_site(self) -> None:
+        label = self._label()
+        self._entropy_acc += self.knobs.branch_entropy
+        noisy = self._entropy_acc >= 1.0 - 1e-9
+        if noisy:
+            self._entropy_acc -= 1.0
+        if noisy:
+            # Noisy: direction follows a high bit of a fresh LCG draw —
+            # bit k of an LCG mod 2^32 has period 2^(k+1), so the high
+            # bits are aperiodic over any realistic run and the gshare
+            # tables cannot learn them.
+            self._advance_lcg()
+            shift = self.rng.randrange(16, 28)
+            self._emit(f"srl {_COND_REG}, {_LCG_STATE}, {shift}")
+            self._emit(f"andi {_COND_REG}, {_COND_REG}, 1")
+            self._emit(f"beqz {_COND_REG}, {label}")
+        else:
+            # Biased: the comparison is over constants, so the direction
+            # never changes and the predictor converges immediately.
+            first, second = self._const(), self._const()
+            self._emit(f"slt {_COND_REG}, {first}, {second}")
+            branch = self.rng.choice(["beqz", "bnez"])
+            self._emit(f"{branch} {_COND_REG}, {label}")
+        for _ in range(self.rng.randrange(1, 3)):
+            self._gen_redundant_alu()
+        self.lines.append(f"{label}:")
+
+    # -- loop structure -----------------------------------------------------------
+
+    def _gen_inner_loop(self, statements: int) -> None:
+        label = self._label()
+        trips = self.rng.randrange(2, 5)
+        self._emit(f"li {_INNER_COUNTER}, {trips}")
+        self.lines.append(f"{label}:")
+        for _ in range(statements):
+            self._gen_producer()
+        self._emit(f"addi {_INNER_COUNTER}, {_INNER_COUNTER}, -1")
+        self._emit(f"bnez {_INNER_COUNTER}, {label}")
+
+    # -- whole program ------------------------------------------------------------
+
+    def build(self) -> str:
+        knobs = self.knobs
+        data_words = ", ".join(
+            str(self.rng.randrange(0, 2**16)) for _ in range(_BUFFER_WORDS))
+
+        self.lines = []
+        self._emit(f"la {_MEM_BASE}, buffer")
+        for reg in _CONST_REGS:
+            self._emit(f"li {reg}, {self.rng.randrange(0, 2**12)}")
+        # Full-period LCG mod 2^32: multiplier ≡ 1 (mod 4), odd state.
+        self._emit(f"li {_LCG_STATE}, "
+                   f"{self.rng.randrange(0, 2**16) * 2 + 1}")
+        self._emit(f"li {_LCG_MULT}, "
+                   f"{self.rng.randrange(1, 2**13) * 4 + 1}")
+        self._emit(f"li {_OUTER_COUNTER}, {knobs.trips}")
+        self.lines.append("outer:")
+
+        # One branch site per ~8 statements, placed against a running
+        # threshold (inner loops advance the statement count in jumps,
+        # so an exact-multiple check would silently drop sites).
+        branch_every = max(4, knobs.size // max(2, knobs.size // 8))
+        next_site = branch_every
+        statements = 0
+        while statements < knobs.size:
+            if statements >= next_site:
+                self._gen_branch_site()
+                next_site += branch_every
+            remaining = knobs.size - statements
+            if remaining >= 6 and self.rng.random() < 0.15:
+                inner = self.rng.randrange(2, min(5, remaining))
+                self._gen_inner_loop(inner)
+                statements += inner
+            else:
+                self._gen_producer()
+                statements += 1
+
+        self._emit(f"addi {_OUTER_COUNTER}, {_OUTER_COUNTER}, -1")
+        self._emit(f"bnez {_OUTER_COUNTER}, outer")
+        self._emit("halt")
+
+        parts = [".data", f"buffer: .word {data_words}", ".text", "main:"]
+        parts += self.lines
+        return "\n".join(parts)
+
+
+def generated_program(knobs: GeneratorKnobs) -> str:
+    """The assembly source for *knobs* (byte-identical per knob set)."""
+    return GeneratedProgramBuilder(knobs).build()
+
+
+#: Placeholder reference block: generated workloads have no paper
+#: numbers, but WorkloadSpec carries one for report uniformity.
+_SYNTHETIC_REFERENCE = PaperReference(
+    inst_count_millions=0.0, branch_pred_rate=0.0, return_pred_rate=0.0,
+    ir_result_rate=0.0, ir_addr_rate=0.0, vp_magic_result_rate=0.0,
+    vp_magic_addr_rate=0.0, vp_lvp_result_rate=0.0,
+    redundancy_repeated=0.0)
+
+_SPEC_MEMO: Dict[str, WorkloadSpec] = {}
+
+
+def generated_spec(knobs: GeneratorKnobs) -> WorkloadSpec:
+    """A :class:`WorkloadSpec` for *knobs* (memoized; not registered —
+    ``all_workloads`` stays the seven paper analogs)."""
+    name = knobs.name
+    spec = _SPEC_MEMO.get(name)
+    if spec is None:
+        def source_fn(variant: str = "ref") -> str:
+            return generated_program(knobs)
+
+        spec = WorkloadSpec(
+            name=name,
+            description=(f"generated: redundancy "
+                         f"{knobs.result_redundancy:.0%}, branch entropy "
+                         f"{knobs.branch_entropy:.0%}, seed {knobs.seed}"),
+            source_fn=source_fn,
+            skip_instructions=0,
+            paper=_SYNTHETIC_REFERENCE,
+            variants=("ref",))
+        _SPEC_MEMO[name] = spec
+    return spec
+
+
+def spec_from_name(name: str) -> WorkloadSpec:
+    """Materialise the generated workload named *name* on demand."""
+    return generated_spec(knobs_from_name(name))
+
+
+# -- command line (repro-gen) ------------------------------------------------------
+
+
+def measure(knobs: GeneratorKnobs,
+            max_instructions: int = 50_000) -> Dict[str, float]:
+    """Functional-simulation measurement of the generated program:
+    Figure 8 classification percentages plus instruction counts."""
+    from ..functional.simulator import FunctionalSimulator
+    from ..isa import assemble
+    from ..redundancy.classifier import RedundancyClassifier
+
+    sim = FunctionalSimulator(assemble(generated_program(knobs)))
+    classifier = RedundancyClassifier()
+    for outcome in sim.stream(max_instructions):
+        classifier.observe(outcome)
+    counts = classifier.counts
+    result = {key: round(value, 2)
+              for key, value in counts.as_percentages().items()}
+    result["redundant"] = round(
+        100.0 * counts.fraction(counts.redundant), 2)
+    result["dynamic_instructions"] = counts.total
+    result["static_instructions"] = classifier.static_instructions
+    result["halted"] = sim.halted
+    return result
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gen",
+        description="Generate a characterised, seed-deterministic "
+                    "assembly workload (see docs/internals.md)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="generator seed (default 0)")
+    parser.add_argument("--size", type=int, default=48,
+                        help="body statements per outer iteration")
+    parser.add_argument("--trips", type=int, default=50,
+                        help="outer-loop trip count")
+    parser.add_argument("--redundancy", type=float, default=0.5,
+                        metavar="FRACTION",
+                        help="target fraction of redundant producers "
+                             "(0..1, quantised to permille)")
+    parser.add_argument("--branch-entropy", type=float, default=0.5,
+                        metavar="FRACTION",
+                        help="fraction of noisy branch sites (0..1)")
+    parser.add_argument("--name", type=str, default=None,
+                        help="build from a canonical gen-… name instead "
+                             "of the individual knob flags")
+    parser.add_argument("-o", "--output", type=str, default=None,
+                        help="write the assembly here instead of stdout")
+    parser.add_argument("--stats", action="store_true",
+                        help="run the functional simulator and print the "
+                             "measured Figure 8 classification instead "
+                             "of the assembly")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.name is not None:
+        knobs = knobs_from_name(args.name)
+    else:
+        knobs = GeneratorKnobs(
+            seed=args.seed, size=args.size, trips=args.trips,
+            result_redundancy=args.redundancy,
+            branch_entropy=args.branch_entropy)
+    source = generated_program(knobs)
+    if args.output:
+        from ..util.locking import atomic_write_text
+        from pathlib import Path
+        atomic_write_text(Path(args.output), source + "\n")
+        print(f"{knobs.name}: wrote {args.output}", file=sys.stderr)
+    if args.stats:
+        print(f"workload: {knobs.name}")
+        for key, value in measure(knobs).items():
+            print(f"  {key}: {value}")
+    elif not args.output:
+        print(source)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -80,7 +80,18 @@ def register(spec: WorkloadSpec) -> WorkloadSpec:
 
 def get_workload(name: str) -> WorkloadSpec:
     _ensure_loaded()
-    return _REGISTRY[name]
+    spec = _REGISTRY.get(name)
+    if spec is not None:
+        return spec
+    if name.startswith("gen-"):
+        # Generated workloads (repro.workloads.generator) are first-class
+        # but registry-free: any canonical gen-… name materialises on
+        # demand — crucially also inside multiprocessing workers, which
+        # rebuild workloads by name — while all_workloads() stays the
+        # seven paper analogs.
+        from .generator import spec_from_name
+        return spec_from_name(name)
+    raise KeyError(name)
 
 
 def all_workloads() -> Dict[str, WorkloadSpec]:

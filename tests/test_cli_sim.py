@@ -72,3 +72,17 @@ class TestMain:
     def test_missing_input_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_generated_workload_mode(self, capsys):
+        assert main(["--workload", "gen-s3-n16-t8-r500-b250",
+                     "--instructions", "2000",
+                     "--config", "vp-select", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "gen-s3-n16-t8-r500-b250" in out
+        assert "vp-select" in out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["--workload", "gen-bogus"])
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["--workload", "spice"])

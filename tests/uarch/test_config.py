@@ -106,3 +106,46 @@ class TestNamedConstructors:
 
     def test_cache_set_count(self):
         assert CacheConfig().num_sets == 1024
+
+
+class TestZooEnumeration:
+    """Sweep machinery must enumerate every predictor kind."""
+
+    def test_all_vp_configs_covers_every_kind(self):
+        from repro.uarch.config import all_vp_configs
+        enumerated = {config.vp.kind for config in all_vp_configs()}
+        # Iterating the enum (not a hand-kept list) guarantees a newly
+        # added PredictorKind cannot silently miss the sweeps.
+        assert enumerated == set(PredictorKind)
+        for member in (PredictorKind.STRIDE, PredictorKind.FCM,
+                       PredictorKind.HYBRID_SELECT):
+            assert member in enumerated
+
+    def test_all_vp_configs_single_kind(self):
+        from repro.uarch.config import all_vp_configs
+        configs = all_vp_configs(PredictorKind.FCM)
+        assert len(configs) == 4  # ME/NME x SB/NSB
+        assert {c.vp.kind for c in configs} == {PredictorKind.FCM}
+
+    def test_full_matrix_size_and_unique_names(self):
+        from repro.uarch.config import all_vp_configs
+        configs = all_vp_configs()
+        assert len(configs) == 4 * len(PredictorKind)
+        assert len({c.name for c in configs}) == len(configs)
+
+    def test_vfr_config_naming_and_knobs(self):
+        from repro.uarch.config import vfr_config
+        plain = vfr_config()
+        assert plain.name == "base-vfr"
+        assert plain.variable_fetch_rate
+        assert not plain.vp.enabled
+        stacked = vfr_config(PredictorKind.HYBRID_SELECT, low_conf_width=1)
+        assert stacked.name == "vp-select-me-sb-v0-vfr"
+        assert stacked.vp.enabled
+        assert stacked.vfr_low_conf_width == 1
+
+    def test_zoo_configs_cover_realistic_kinds(self):
+        from repro.experiments.configs import ZOO_KINDS, zoo_configs
+        kinds = {c.vp.kind for c in zoo_configs() if c.vp.enabled}
+        assert kinds == set(ZOO_KINDS)
+        assert any(c.variable_fetch_rate for c in zoo_configs())

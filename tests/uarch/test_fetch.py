@@ -141,3 +141,83 @@ class TestPredictionsAttached:
         returns = [f for f in fetch.queue if f.inst.is_return]
         if returns:
             assert returns[0].prediction.target == program.symbol("main") + 4
+
+
+class TestVariableFetchRate:
+    """The confidence-throttled frontend (config.variable_fetch_rate)."""
+
+    SOURCE = """
+    main: nop
+          beq $zero, $zero, next
+    next: nop
+          nop
+          nop
+          nop
+          nop
+          nop
+          nop
+          nop
+          halt
+    """
+
+    def make_vfr(self, **overrides):
+        from repro.uarch.config import vfr_config
+        return make_fetch(self.SOURCE, config=vfr_config(**overrides))
+
+    def test_weak_branch_ends_group_and_throttles(self):
+        fetch, _ = self.make_vfr()
+        warm(fetch)
+        # Fresh gshare counters are weak: the branch ends the group...
+        assert fetch.vfr_throttles == 1
+        assert len(fetch.queue) == 2
+        # ...and the next cycle runs at the reduced width.
+        landed = fetch.queue[-1].fetch_cycle
+        fetch.step(landed + 1)
+        assert len(fetch.queue) == 2 + fetch.config.vfr_low_conf_width
+        # The cycle after that is back to full width.
+        fetch.step(landed + 2)
+        assert len(fetch.queue) == 2 + fetch.config.vfr_low_conf_width + 4
+
+    def test_low_conf_width_configurable(self):
+        fetch, _ = self.make_vfr(low_conf_width=1)
+        warm(fetch)
+        fetch.step(fetch.queue[-1].fetch_cycle + 1)
+        assert len(fetch.queue) == 3  # 2 from the group + width 1
+
+    def test_confident_branch_does_not_throttle(self):
+        fetch, _ = self.make_vfr()
+        # Saturate every direction counter: high confidence everywhere.
+        fetch.predictor.gshare.counters = bytearray(
+            [3] * len(fetch.predictor.gshare.counters))
+        warm(fetch)
+        assert fetch.vfr_throttles == 0
+
+    def test_base_config_never_throttles(self):
+        fetch, _ = make_fetch(self.SOURCE)
+        cycle = warm(fetch)
+        fetch.step(cycle + 1)
+        assert fetch.vfr_throttles == 0
+        assert not fetch.config.variable_fetch_rate
+
+    def test_jumps_do_not_throttle(self):
+        from repro.uarch.config import vfr_config
+        source = """
+        main: j next
+        next: nop
+              nop
+              halt
+        """
+        fetch, _ = make_fetch(source, config=vfr_config())
+        cycle = warm(fetch)
+        fetch.step(cycle + 1)
+        assert fetch.vfr_throttles == 0
+
+    def test_redirect_clears_pending_throttle(self):
+        fetch, program = self.make_vfr()
+        warm(fetch)
+        assert fetch.vfr_throttles == 1
+        landed = fetch.queue[-1].fetch_cycle
+        fetch.redirect(program.symbol("next"), landed)
+        # The throttling branch was squashed: the next group is full.
+        fetch.step(landed + 1)
+        assert len(fetch.queue) == 4

@@ -24,9 +24,11 @@ from pathlib import Path
 import pytest
 
 from repro.uarch.config import (
+    PredictorKind,
     base_config,
     hybrid_config,
     ir_config,
+    vfr_config,
     vp_config,
 )
 from repro.uarch.core import OutOfOrderCore
@@ -45,9 +47,40 @@ CONFIG_FACTORIES = {
     "hybrid": hybrid_config,
 }
 
+
+def _vp_stride():
+    return vp_config(PredictorKind.STRIDE)
+
+
+def _vp_fcm():
+    return vp_config(PredictorKind.FCM)
+
+
+def _vp_select():
+    return vp_config(PredictorKind.HYBRID_SELECT)
+
+
+def _vfr_select():
+    return vfr_config(PredictorKind.HYBRID_SELECT)
+
+
+#: The predictor zoo is pinned on one workload (compress: the paper's
+#: load-heavy analog) rather than the full matrix — one byte-exact cell
+#: per new kind locks its timing behaviour without doubling the corpus.
+ZOO_FACTORIES = {
+    "vp-stride": _vp_stride,
+    "vp-fcm": _vp_fcm,
+    "vp-select": _vp_select,
+    "vfr-select": _vfr_select,
+}
+ZOO_WORKLOAD = "compress"
+
+ALL_FACTORIES = {**CONFIG_FACTORIES, **ZOO_FACTORIES}
+
 CASES = [(workload, key)
          for workload in sorted(workload_names())
-         for key in sorted(CONFIG_FACTORIES)]
+         for key in sorted(CONFIG_FACTORIES)] \
+    + [(ZOO_WORKLOAD, key) for key in sorted(ZOO_FACTORIES)]
 
 
 def golden_path(workload: str, config_key: str) -> Path:
@@ -57,7 +90,7 @@ def golden_path(workload: str, config_key: str) -> Path:
 def run_case(workload: str, config_key: str):
     """One corpus run: warm skip, then a fixed committed-inst budget."""
     spec = get_workload(workload)
-    config = CONFIG_FACTORIES[config_key]()
+    config = ALL_FACTORIES[config_key]()
     core = OutOfOrderCore(config, spec.program("ref"))
     core.skip(spec.skip_instructions)
     stats = core.run(max_cycles=MAX_CYCLES, max_instructions=INSTRUCTIONS)
@@ -115,7 +148,7 @@ def test_golden_stats_from_checkpoint(workload, config_key, regen,
         pytest.skip("corpus regeneration uses the cold path only")
     spec = get_workload(workload)
     program = spec.program("ref")
-    core = OutOfOrderCore(CONFIG_FACTORIES[config_key](), program)
+    core = OutOfOrderCore(ALL_FACTORIES[config_key](), program)
     core.restore_warm(warm_store.get(program, spec.skip_instructions))
     stats = core.run(max_cycles=MAX_CYCLES, max_instructions=INSTRUCTIONS)
     stats.workload_name = workload
