@@ -10,11 +10,14 @@ root.  The committed file carries two numbers:
   baseline the acceptance criterion is judged against);
 * ``current_ips`` — throughput of the core as of the last benchmark run.
 
-The gate *warns* (never fails) when the current run is >20% below the
-committed ``current_ips``: wallclock noise across CI machines must not
-be able to fail the correctness job, which is why this file lives in
-``benchmarks/`` (outside the tier-1 ``testpaths``) and runs as its own
-CI job.
+The gate **fails** when the best-of-N run is >5% below the committed
+``current_ips``.  Best-of-N sampling absorbs ordinary scheduler jitter;
+a drop past the tolerance means the hot path genuinely slowed down.
+The file still lives in ``benchmarks/`` (outside the tier-1
+``testpaths``) and runs as its own CI job, so a perf regression fails
+the *performance* leg without ever masking a correctness failure.
+Intentional slowdowns are accepted by committing the rewritten
+``BENCH_core.json`` together with the change.
 """
 
 import json
@@ -52,7 +55,7 @@ KERNEL = [
     ("compress", hybrid_config, 10_000),
     ("compress", zoo_select_config, 10_000),
 ]
-REGRESSION_TOLERANCE = 0.20  # warn when >20% below the committed number
+REGRESSION_TOLERANCE = 0.05  # FAIL when >5% below the committed number
 HISTORY_LIMIT = 20  # benchmark runs kept in the ``history`` list
 
 
@@ -109,13 +112,19 @@ def test_core_throughput_gate():
         record["telemetry_overhead"] = committed["telemetry_overhead"]
     BENCH_FILE.write_text(json.dumps(record, indent=1) + "\n")
 
+    # Hard gate: best-of-N against the committed number absorbs normal
+    # scheduler jitter, so a >5% drop means the hot path really slowed
+    # down.  To accept an intentional slowdown, commit the regenerated
+    # BENCH_core.json (this test just rewrote it) alongside the change.
     reference = committed.get("current_ips")
-    if reference and ips < reference * (1 - REGRESSION_TOLERANCE):
-        warnings.warn(
+    if reference:
+        floor = reference * (1 - REGRESSION_TOLERANCE)
+        assert ips >= floor, (
             f"core throughput regressed: {ips:.0f} inst/s vs committed "
             f"{reference:.0f} inst/s "
-            f"({100 * (1 - ips / reference):.0f}% drop)",
-            stacklevel=1)
+            f"({100 * (1 - ips / reference):.0f}% drop, limit "
+            f"{100 * REGRESSION_TOLERANCE:.0f}%); if intentional, commit "
+            f"the rewritten BENCH_core.json")
     assert ips > 0
 
 

@@ -19,21 +19,39 @@ establishes, *non-speculatively*, that a stored instance's result is valid:
 Because both paper augmentations store operand *values* in the entry, the
 register-overwrite invalidation and revert-to-valid rules reduce exactly
 to the value comparisons performed here.
+
+The engine reads in-flight state straight out of the core's
+:class:`~repro.uarch.entry.EntryPool` arrays (bound via
+:meth:`ReuseEngine.bind_pool`): the hot-path methods take a small integer
+entry id, not an object.  Only :meth:`eligible` and
+:meth:`operand_signature` keep the attribute interface — they also serve
+the :class:`~repro.uarch.entry.CommittedOp` views tests inspect.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
 from ..metrics.stats import SimStats
 from ..uarch.config import IRConfig, IRValidation
-from ..uarch.entry import InflightOp
 from .buffer import OperandSignature, RBEntry, ReuseBuffer
 
-# Core-supplied oracle: does an older in-flight store conflict with this
-# load's address range?  (op, address, nbytes) -> bool
-StoreConflictFn = Callable[[InflightOp, int, int], bool]
+# Core-supplied oracle: does an in-flight store older than *seq* conflict
+# with this address range?  (seq, address, nbytes) -> bool
+StoreConflictFn = Callable[[int, int, int], bool]
+
+
+def _signature_from(meta, src_values) -> OperandSignature:
+    """The operand names+values stored with an entry.
+
+    Stores keep only the base register: their reusable work is the
+    address computation, which does not depend on the data operand.
+    """
+    if meta.is_store:
+        regs: Tuple[int, ...] = (meta.rs,) if meta.rs != 0 else ()
+    else:
+        regs = meta.src_regs
+    return tuple((reg, src_values[reg]) for reg in regs)
 
 
 class ReuseDecision:
@@ -67,19 +85,37 @@ class ReuseEngine:
         # attached, every reuse test emits a hit/miss event (misses with
         # a diagnosed reason).  Never influences the decision.
         self.telemetry = None
+        self.pool = None
+
+    def bind_pool(self, pool) -> None:
+        """Adopt the core's entry pool (one-hop bindings of the arrays
+        every reuse test reads)."""
+        self.pool = pool
+        self._seq = pool.seq_of
+        self._meta = pool.meta
+        self._outcome = pool.outcome
+        self._producers = pool.producers
+        self._src_values = pool.src_values
+        self._completed = pool.completed
+        self._ready = pool.ready_cycle
+        self._nonspec = pool.nonspec_cycle
+        self._reused = pool.reused
+        self._reuse_value = pool.reuse_value
+        self._rb = pool.rb_entry
+        self._fwd = pool.forwarded_from
 
     # -- eligibility ---------------------------------------------------------------
 
     @staticmethod
-    def eligible(op: InflightOp) -> bool:
+    def eligible(op) -> bool:
         """Direct jumps, nops and halt gain nothing from reuse."""
         return op.meta.reuse_eligible
 
     # -- the reuse test (dispatch time) ----------------------------------------------
 
-    def test(self, op: InflightOp, cycle: int,
+    def test(self, i: int, cycle: int,
              store_conflict: StoreConflictFn) -> ReuseDecision:
-        meta = op.meta
+        meta = self._meta[i]
         if not meta.reuse_eligible:
             return _MISS
         self.stats.ir_tests += 1
@@ -90,10 +126,10 @@ class ReuseEngine:
         for entry in buffer.sets[(pc >> 2) & buffer.set_mask]:
             if entry.pc != pc:
                 continue
-            if not self._operands_match(op, entry, cycle):
+            if not self._operands_match(i, entry, cycle):
                 continue
             if is_mem:
-                decision = self._test_memory(op, entry, store_conflict)
+                decision = self._test_memory(i, entry, store_conflict)
             else:
                 decision = ReuseDecision(entry=entry, full=True)
             if decision.full:
@@ -104,19 +140,19 @@ class ReuseEngine:
         if best is None or best.entry is None:
             if self.telemetry is not None:
                 self.telemetry.emit(
-                    "reuse_miss", cycle, op.seq, pc,
-                    {"reason": self._explain_miss(op, cycle,
+                    "reuse_miss", cycle, self._seq[i], pc,
+                    {"reason": self._explain_miss(i, cycle,
                                                   store_conflict)})
             return _MISS
         buffer.touch(best.entry)
         self._count_recovery(best.entry)
         if self.telemetry is not None:
-            self.telemetry.emit("reuse_hit", cycle, op.seq, pc,
+            self.telemetry.emit("reuse_hit", cycle, self._seq[i], pc,
                                 {"full": best.full,
                                  "address": best.address})
         return best
 
-    def _explain_miss(self, op: InflightOp, cycle: int,
+    def _explain_miss(self, i: int, cycle: int,
                       store_conflict: StoreConflictFn) -> str:
         """Why the test failed — a trace-only re-walk of the set.
 
@@ -124,64 +160,64 @@ class ReuseEngine:
         pays nothing for it.  The reason is the first matching entry's
         first failing condition, in test order.
         """
-        meta = op.meta
+        meta = self._meta[i]
         pc = meta.pc
         buffer = self.buffer
         for entry in buffer.sets[(pc >> 2) & buffer.set_mask]:
             if entry.pc != pc:
                 continue
-            src_values = op.src_values
+            src_values = self._src_values[i]
             for reg, stored_value in entry.operands:
                 if src_values.get(reg) != stored_value:
                     return "operand_mismatch"
-                if not self._value_available(op, reg, cycle):
+                if not self._value_available(i, reg, cycle):
                     return "operand_unavailable"
             if meta.is_mem:
                 if entry.address is None:
                     return "no_address"
-                if op.is_load:
+                if meta.is_load:
                     if not entry.result_valid:
                         return "result_invalid"
                     if not entry.mem_valid:
                         return "mem_invalidated"
-                    if store_conflict(op, entry.address,
+                    if store_conflict(self._seq[i], entry.address,
                                       entry.mem_bytes):
                         return "store_conflict"
             return "unknown"
         return "no_entry"
 
-    def _operands_match(self, op: InflightOp, entry: RBEntry,
+    def _operands_match(self, i: int, entry: RBEntry,
                         cycle: int) -> bool:
         """All stored operands available and equal to the current values."""
-        src_values = op.src_values
+        src_values = self._src_values[i]
         for reg, stored_value in entry.operands:
             # Equality first: it is the cheap test and the common reject.
             # Availability has no side effects, so the order is free.
             if src_values.get(reg) != stored_value:
                 return False
-            if not self._value_available(op, reg, cycle):
+            if not self._value_available(i, reg, cycle):
                 return False
         return True
 
-    def _value_available(self, op: InflightOp, reg: int, cycle: int) -> bool:
-        producer = op.producers.get(reg)
-        if producer is None:
+    def _value_available(self, i: int, reg: int, cycle: int) -> bool:
+        p = self._producers[i].get(reg)
+        if p is None:
             return True  # architectural value, readable at decode
-        if producer.completed and producer.ready_cycle is not None \
-                and producer.nonspec_cycle is not None \
-                and producer.nonspec_cycle <= cycle:
+        ready = self._ready[p]
+        nonspec = self._nonspec[p]
+        if self._completed[p] and ready is not None \
+                and nonspec is not None and nonspec <= cycle:
             # The value must be *verified*, not merely computed: in pure
             # IR these coincide, but in the hybrid machine a completed
             # producer may still carry a value-speculative result, and
             # the reuse test is defined to be non-speculative.
-            if producer.ready_cycle < cycle:
+            if ready < cycle:
                 return True
             # Same-cycle availability: an execution writing back this
             # cycle can bypass into the decode-stage test, but a
             # same-cycle *reuse* is only visible through the dependence
             # pointers (the "d" of S_{n+d}) — handled below.
-            if producer.ready_cycle == cycle \
-                    and producer.reuse_value is None:
+            if ready == cycle and self._reuse_value[p] is None:
                 return True
         # Dependence-pointer chaining: the producer's own reuse test
         # succeeded, so its result is known at decode.  Under EARLY
@@ -189,20 +225,21 @@ class ReuseEngine:
         # under LATE validation it is still speculative, and chaining on
         # it is only allowed when ``late_chain_detection`` relaxes the
         # test (see IRConfig).
-        if producer.reuse_value is not None \
+        if self._reuse_value[p] is not None \
                 and self.config.dependence_chaining:
             if self.config.validation == IRValidation.EARLY:
                 return True
             return self.config.late_chain_detection
         return False
 
-    def _test_memory(self, op: InflightOp, entry: RBEntry,
+    def _test_memory(self, i: int, entry: RBEntry,
                      store_conflict: StoreConflictFn) -> ReuseDecision:
         if entry.address is None:
             return _MISS
         decision = ReuseDecision(entry=entry, address=True)
-        if (op.is_load and entry.result_valid and entry.mem_valid
-                and not store_conflict(op, entry.address, entry.mem_bytes)):
+        if (self._meta[i].is_load and entry.result_valid and entry.mem_valid
+                and not store_conflict(self._seq[i], entry.address,
+                                       entry.mem_bytes)):
             decision.full = True
         return decision
 
@@ -214,26 +251,18 @@ class ReuseEngine:
 
     # -- RB maintenance ---------------------------------------------------------------
 
-    def operand_signature(self, op: InflightOp) -> OperandSignature:
-        """The operand names+values stored with an entry.
+    def operand_signature(self, op) -> OperandSignature:
+        """Signature of an op-like object (CommittedOp views, tests)."""
+        return _signature_from(op.meta, op.src_values)
 
-        Stores keep only the base register: their reusable work is the
-        address computation, which does not depend on the data operand.
-        """
-        meta = op.meta
-        if meta.is_store:
-            regs: Tuple[int, ...] = (meta.rs,) if meta.rs != 0 else ()
-        else:
-            regs = meta.src_regs
-        return tuple((reg, op.src_values[reg]) for reg in regs)
-
-    def insert(self, op: InflightOp) -> None:
+    def insert(self, i: int) -> None:
         """Record a completed execution in the RB (wrong paths included)."""
-        meta = op.meta
-        if op.reused or not meta.reuse_eligible:
+        meta = self._meta[i]
+        if self._reused[i] or not meta.reuse_eligible:
             return
-        outcome = op.outcome
-        entry = RBEntry(pc=meta.pc, operands=self.operand_signature(op))
+        outcome = self._outcome[i]
+        entry = RBEntry(pc=meta.pc,
+                        operands=_signature_from(meta, self._src_values[i]))
         if meta.is_branch:
             entry.result = int(outcome.taken)
         elif meta.is_indirect:
@@ -247,24 +276,26 @@ class ReuseEngine:
                 entry.result = outcome.result
                 # Data forwarded from a not-yet-committed store is not
                 # guaranteed against committed memory: address-only entry.
-                entry.result_valid = op.forwarded_from is None
+                entry.result_valid = self._fwd[i] is None
             else:
                 entry.result_valid = False
         else:
             entry.result = outcome.result
             entry.result_hi = outcome.result_hi
-        producers = op.producers
+        producers = self._producers[i]
         if producers:  # dependence pointers (the "d" of S_{n+d})
+            rb = self._rb
             entry.source_entries = tuple(
-                producers[reg].rb_entry for reg in sorted(producers))
-        op.rb_entry = self.buffer.insert(entry)
+                rb[producers[reg]] for reg in sorted(producers))
+        self._rb[i] = self.buffer.insert(entry)
 
-    def note_squashed(self, op: InflightOp) -> None:
+    def note_squashed(self, i: int) -> None:
         """The op was control-squashed after executing: its RB entry (if
         any) now represents recoverable wrong-path work (Table 5)."""
-        if op.rb_entry is not None:
-            op.rb_entry.from_squashed = True
-            op.rb_entry.recovery_counted = False
+        rb_entry = self._rb[i]
+        if rb_entry is not None:
+            rb_entry.from_squashed = True
+            rb_entry.recovery_counted = False
 
     def on_store_commit(self, address: int, nbytes: int) -> None:
         self.buffer.invalidate_stores(address, nbytes)

@@ -9,30 +9,17 @@ flat metadata record.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Optional, Tuple
 
-from ..isa.instruction import Instruction
 from .branch_predictor import BranchPrediction, BranchPredictorUnit
 from .cache import SetAssocCache
 from .config import MachineConfig
 from .decode import DecodeTable, StaticOp
 
-
-class FetchedInst:
-    """One instruction in the fetch queue, with its fetch-time prediction."""
-
-    __slots__ = ("op", "prediction", "fetch_cycle")
-
-    def __init__(self, op: StaticOp,
-                 prediction: Optional[BranchPrediction],
-                 fetch_cycle: int):
-        self.op = op
-        self.prediction = prediction  # set for predicted control
-        self.fetch_cycle = fetch_cycle
-
-    @property
-    def inst(self) -> Instruction:
-        return self.op.inst
+#: One fetch-queue element: (StaticOp, fetch-time prediction or None,
+#: fetch cycle).  A plain tuple — the fetch/dispatch hot path allocates
+#: nothing beyond it per instruction.
+FetchedInst = Tuple[StaticOp, Optional[BranchPrediction], int]
 
 
 class FetchUnit:
@@ -113,7 +100,7 @@ class FetchUnit:
                 prediction, next_pc, stop = self._predict(op)
             else:  # straight-line fast path: no predictor involvement
                 prediction, next_pc, stop = None, op.next_pc, False
-            queue.append(FetchedInst(op, prediction, cycle))
+            queue.append((op, prediction, cycle))
             fetched += 1
             room -= 1
             self.fetched += 1

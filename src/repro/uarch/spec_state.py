@@ -38,6 +38,10 @@ class SpeculativeState:
         # Undo journal of (address, old_value, nbytes) records.
         self._journal: List[Tuple[int, int, int]] = []
         self._live_checkpoints = 0
+        # Released Checkpoint objects, recycled by take_checkpoint so the
+        # steady state allocates no checkpoint (or register list) per
+        # predicted branch.
+        self._cp_pool: List[Checkpoint] = []
 
     # -- StateProtocol (used by repro.functional.simulator.execute) --------------
 
@@ -61,11 +65,18 @@ class SpeculativeState:
 
     def take_checkpoint(self, pc: int) -> Checkpoint:
         self._live_checkpoints += 1
+        pool = self._cp_pool
+        if pool:
+            checkpoint = pool.pop()
+            checkpoint.regs[:] = self.regs
+            checkpoint.journal_mark = len(self._journal)
+            checkpoint.pc = pc
+            return checkpoint
         return Checkpoint(list(self.regs), len(self._journal), pc)
 
     def restore(self, checkpoint: Checkpoint) -> None:
         """Roll state back to *checkpoint* (which stays valid for reuse)."""
-        self.regs = list(checkpoint.regs)
+        self.regs[:] = checkpoint.regs
         while len(self._journal) > checkpoint.journal_mark:
             address, old, nbytes = self._journal.pop()
             self.memory.write(address, old, nbytes)
@@ -75,6 +86,7 @@ class SpeculativeState:
         self._live_checkpoints -= 1
         if self._live_checkpoints == 0:
             self._journal.clear()
+        self._cp_pool.append(checkpoint)
 
     @property
     def journal_length(self) -> int:

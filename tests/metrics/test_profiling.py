@@ -37,7 +37,7 @@ class TestPhasesStayInSync:
         "events": "self._process_events()",
         "issue": "self._issue()",
         "dispatch": "self._dispatch()",
-        "fetch": "self.fetch_unit.step(self.cycle)",
+        "fetch": "fetch.step(self.cycle)",
     }
 
     def test_phases_tuple_matches_expected_order(self):

@@ -57,30 +57,32 @@ class InstrumentedCore(OutOfOrderCore):
         self._scheduled = defaultdict(list)  # seq -> completion cycles
         self.completion_log = []  # (cycle, seq) in processing order
 
-    def _schedule(self, cycle, kind, op):
+    def _schedule(self, cycle, kind, i):
         if kind == _EVENT_COMPLETE:
-            self._scheduled[op.seq].append(cycle)
-        super()._schedule(cycle, kind, op)
+            self._scheduled[self.e_seq[i]].append(cycle)
+        super()._schedule(cycle, kind, i)
 
-    def _start_execution(self, op, address=None, forwarding=None):
-        addr_speculative = op.is_load and (op.addr_reused
-                                           or op.addr_predicted)
-        if not addr_speculative and not op.operands_ready(self.cycle):
+    def _start_execution(self, i, address=None, forwarding=None):
+        addr_speculative = self.e_is_load[i] and (self.e_addr_reused[i]
+                                                  or self.e_addr_predicted[i])
+        if not addr_speculative \
+                and not self.pool.operands_ready(i, self.cycle):
             self.violations.append(
-                f"{op.meta.opcode.name} seq={op.seq} issued at cycle "
-                f"{self.cycle} before its operands were broadcast")
-        super()._start_execution(op, address, forwarding)
+                f"{self.e_meta[i].opcode.name} seq={self.e_seq[i]} issued "
+                f"at cycle {self.cycle} before its operands were broadcast")
+        super()._start_execution(i, address, forwarding)
 
-    def _on_complete(self, op):
-        pending = self._scheduled.get(op.seq)
+    def _on_complete(self, i):
+        seq = self.e_seq[i]
+        pending = self._scheduled.get(seq)
         if pending and self.cycle in pending:
             pending.remove(self.cycle)
         else:
             self.violations.append(
-                f"completion of seq={op.seq} fired at cycle {self.cycle}, "
+                f"completion of seq={seq} fired at cycle {self.cycle}, "
                 f"which was never its scheduled completion cycle")
-        self.completion_log.append((self.cycle, op.seq))
-        super()._on_complete(op)
+        self.completion_log.append((self.cycle, seq))
+        super()._on_complete(i)
 
     def _fast_forward(self, max_cycles):
         before = self.cycle

@@ -64,7 +64,7 @@ class TestControlFlow:
         # warm the icache line first
         fetch.step(cycle=1)
         fetched_per_cycle = [len(fetch.queue)]
-        assert fetched_per_cycle[0] <= 1 or fetch.queue[0].inst.opcode.name == "j"
+        assert fetched_per_cycle[0] <= 1 or fetch.queue[0][0].opcode.name == "j"
 
     def test_taken_branch_redirects(self):
         source = """
@@ -115,9 +115,9 @@ class TestPredictionsAttached:
         while not fetch.queue:
             cycle = max(cycle + 1, fetch.stall_until)
             fetch.step(cycle)
-        record = fetch.queue[0]
-        assert record.inst.opcode.name == "beq"
-        assert record.prediction is not None
+        op, prediction, _ = fetch.queue[0]
+        assert op.opcode.name == "beq"
+        assert prediction is not None
 
     def test_plain_ops_have_no_prediction(self):
         fetch, _ = make_fetch("main: nop\n halt")
@@ -125,7 +125,7 @@ class TestPredictionsAttached:
         while not fetch.queue:
             cycle = max(cycle + 1, fetch.stall_until)
             fetch.step(cycle)
-        assert fetch.queue[0].prediction is None
+        assert fetch.queue[0][1] is None
 
     def test_call_pushes_ras_for_return(self):
         source = """
@@ -136,11 +136,11 @@ class TestPredictionsAttached:
         fetch, program = make_fetch(source)
         for cycle in range(1, 30):
             fetch.step(max(cycle, fetch.stall_until))
-            if fetch.queue and fetch.queue[-1].inst.is_return:
+            if fetch.queue and fetch.queue[-1][0].is_return:
                 break
-        returns = [f for f in fetch.queue if f.inst.is_return]
+        returns = [f for f in fetch.queue if f[0].is_return]
         if returns:
-            assert returns[0].prediction.target == program.symbol("main") + 4
+            assert returns[0][1].target == program.symbol("main") + 4
 
 
 class TestVariableFetchRate:
@@ -171,7 +171,7 @@ class TestVariableFetchRate:
         assert fetch.vfr_throttles == 1
         assert len(fetch.queue) == 2
         # ...and the next cycle runs at the reduced width.
-        landed = fetch.queue[-1].fetch_cycle
+        landed = fetch.queue[-1][2]
         fetch.step(landed + 1)
         assert len(fetch.queue) == 2 + fetch.config.vfr_low_conf_width
         # The cycle after that is back to full width.
@@ -181,7 +181,7 @@ class TestVariableFetchRate:
     def test_low_conf_width_configurable(self):
         fetch, _ = self.make_vfr(low_conf_width=1)
         warm(fetch)
-        fetch.step(fetch.queue[-1].fetch_cycle + 1)
+        fetch.step(fetch.queue[-1][2] + 1)
         assert len(fetch.queue) == 3  # 2 from the group + width 1
 
     def test_confident_branch_does_not_throttle(self):
@@ -216,7 +216,7 @@ class TestVariableFetchRate:
         fetch, program = self.make_vfr()
         warm(fetch)
         assert fetch.vfr_throttles == 1
-        landed = fetch.queue[-1].fetch_cycle
+        landed = fetch.queue[-1][2]
         fetch.redirect(program.symbol("next"), landed)
         # The throttling branch was squashed: the next group is full.
         fetch.step(landed + 1)

@@ -19,6 +19,8 @@ regenerate with::
 and justify the diff of ``tests/golden/`` in the commit message.
 """
 
+import os
+import subprocess
 from pathlib import Path
 
 import pytest
@@ -77,10 +79,27 @@ ZOO_WORKLOAD = "compress"
 
 ALL_FACTORIES = {**CONFIG_FACTORIES, **ZOO_FACTORIES}
 
+#: Generated-workload cells (repro-gen): canonical ``gen-…`` names
+#: materialise on demand, so these are corpus rows like any other — but
+#: with *chosen* characteristics.  Three knob corners (redundant and
+#: predictable / fresh and noisy / middle) each pinned under two of the
+#: speculation schemes, so every scheme family (vp, ir, hybrid, fcm,
+#: select) owns at least one synthetic cell whose behaviour is known by
+#: construction rather than inherited from a paper analog.
+GENERATED_CASES = [
+    ("gen-s7-n48-t120-r800-b150", "ir"),
+    ("gen-s7-n48-t120-r800-b150", "vp"),
+    ("gen-s11-n64-t100-r250-b700", "hybrid"),
+    ("gen-s11-n64-t100-r250-b700", "vp-fcm"),
+    ("gen-s13-n40-t150-r500-b400", "vp-select"),
+    ("gen-s13-n40-t150-r500-b400", "ir"),
+]
+
 CASES = [(workload, key)
          for workload in sorted(workload_names())
          for key in sorted(CONFIG_FACTORIES)] \
-    + [(ZOO_WORKLOAD, key) for key in sorted(ZOO_FACTORIES)]
+    + [(ZOO_WORKLOAD, key) for key in sorted(ZOO_FACTORIES)] \
+    + GENERATED_CASES
 
 
 def golden_path(workload: str, config_key: str) -> Path:
@@ -98,9 +117,45 @@ def run_case(workload: str, config_key: str):
     return stats
 
 
+def _dirty_tracked_files() -> list:
+    """Tracked files with uncommitted changes, except the corpus itself.
+
+    Regenerating golden stats over a dirty tree bakes unreviewed source
+    edits into the byte-exact contract — the resulting corpus diff can
+    never be attributed to one commit.  Untracked files and pending
+    edits under ``tests/golden/`` (a partially regenerated corpus) are
+    fine; anything else blocks regeneration.
+    """
+    repo_root = GOLDEN_DIR.parents[1]
+    try:
+        out = subprocess.run(
+            ["git", "status", "--porcelain", "--untracked-files=no"],
+            cwd=repo_root, capture_output=True, text=True, timeout=30)
+    except (OSError, subprocess.TimeoutExpired):
+        return []  # no git available: nothing to check against
+    if out.returncode != 0:
+        return []  # not a git checkout (tarball / exported tree)
+    dirty = []
+    for line in out.stdout.splitlines():
+        path = line[3:].split(" -> ")[-1].strip().strip('"')
+        if not path.startswith("tests/golden/"):
+            dirty.append(path)
+    return dirty
+
+
 @pytest.fixture(scope="session")
 def regen(request):
-    return request.config.getoption("--regen-golden")
+    flag = request.config.getoption("--regen-golden")
+    if flag and not os.environ.get("REPRO_REGEN_ALLOW_DIRTY"):
+        dirty = _dirty_tracked_files()
+        if dirty:
+            pytest.exit(
+                "--regen-golden refused: the working tree has uncommitted "
+                "changes outside tests/golden/ (%s). Commit or stash them "
+                "first so the corpus diff is attributable to one change, "
+                "or set REPRO_REGEN_ALLOW_DIRTY=1 to override."
+                % ", ".join(sorted(dirty)[:8]), returncode=2)
+    return flag
 
 
 @pytest.mark.parametrize("workload,config_key", CASES)
