@@ -10,23 +10,35 @@ root.  The committed file carries two numbers:
   baseline the acceptance criterion is judged against);
 * ``current_ips`` — throughput of the core as of the last benchmark run.
 
-The gate **fails** when the best-of-N run is >5% below the committed
-``current_ips``.  Best-of-N sampling absorbs ordinary scheduler jitter;
-a drop past the tolerance means the hot path genuinely slowed down.
-The file still lives in ``benchmarks/`` (outside the tier-1
-``testpaths``) and runs as its own CI job, so a perf regression fails
-the *performance* leg without ever masking a correctness failure.
+Every measurement takes ≥3 timed repetitions: the **median** is what
+gets recorded (a robust central value for the committed file and the
+history trend), while the **best-of-N** is what the gate compares —
+wallclock noise only ever slows a run down, so the fastest repetition
+is the closest estimate of the true cost, and a best-of-N still >5%
+below the committed median means the hot path genuinely slowed down.
+The file lives in ``benchmarks/`` (outside the tier-1 ``testpaths``)
+and runs as its own CI job, so a perf regression fails the
+*performance* leg without ever masking a correctness failure.
 Intentional slowdowns are accepted by committing the rewritten
 ``BENCH_core.json`` together with the change.
+
+When the mypyc-built kernel extension is present the compiled leg runs
+too, recording ``current_ips_compiled`` (plus its own history) under
+``REPRO_BACKEND=compiled`` with the same median/best-of-N discipline,
+warning below the 3x-vs-interpreted target and hard-failing on a >5%
+regression against its own committed number.  Without the extension
+the leg skips — the interpreted gate is unaffected.
 """
 
 import json
+import statistics
 import time
 import warnings
 from pathlib import Path
 
 import pytest
 
+from repro.backend import available_backends, use
 from repro.uarch.config import (
     PredictorKind,
     base_config,
@@ -81,35 +93,53 @@ def _run_kernel(telemetry: bool = False):
     return total_instructions, total_seconds
 
 
-def measure_ips(repeats: int = 3) -> float:
-    """Best-of-N simulated instructions per wallclock second."""
-    best = 0.0
-    for _ in range(repeats):
+#: Target multiple of the committed interpreted throughput for the
+#: compiled (mypyc) kernel leg; a miss warns, a regression against the
+#: leg's own committed number fails.
+COMPILED_TARGET = 3.0
+
+
+def measure_ips(repeats: int = 3):
+    """(median, best) simulated instructions/second over ≥3 repetitions.
+
+    The median is the recorded value (robust against one noisy rep);
+    the best is what the regression gate compares, since contention
+    only ever makes a repetition slower.
+    """
+    samples = []
+    for _ in range(max(repeats, 3)):
         instructions, seconds = _run_kernel()
-        best = max(best, instructions / seconds)
-    return best
+        samples.append(instructions / seconds)
+    return statistics.median(samples), max(samples)
 
 
 def test_core_throughput_gate():
-    ips = measure_ips()
+    ips, best = measure_ips()
     committed = {}
     if BENCH_FILE.exists():
         committed = json.loads(BENCH_FILE.read_text())
+    seed = committed.get("seed_ips", ips)
 
     # Each run *appends* to ``history`` (bounded) rather than
     # overwriting, so regressions show up as a trend across runs.
-    entry = {"current_ips": round(ips, 1)}
+    # Every entry carries the same keys as the committed top level.
+    entry = {
+        "current_ips": round(ips, 1),
+        "speedup_vs_seed": round(ips / seed, 2),
+    }
     history = (committed.get("history", []) + [entry])[-HISTORY_LIMIT:]
     record = {
         "kernel": [[w, f.__name__, n] for w, f, n in KERNEL],
-        "seed_ips": committed.get("seed_ips", ips),
+        "seed_ips": seed,
         "current_ips": round(ips, 1),
-        "speedup_vs_seed": round(
-            ips / committed.get("seed_ips", ips), 2),
+        "speedup_vs_seed": round(ips / seed, 2),
         "history": history,
     }
-    if "telemetry_overhead" in committed:
-        record["telemetry_overhead"] = committed["telemetry_overhead"]
+    # Keys owned by the other benchmark legs ride along unchanged.
+    for key in ("telemetry_overhead", "current_ips_compiled",
+                "compiled_speedup", "history_compiled"):
+        if key in committed:
+            record[key] = committed[key]
     BENCH_FILE.write_text(json.dumps(record, indent=1) + "\n")
 
     # Hard gate: best-of-N against the committed number absorbs normal
@@ -119,11 +149,53 @@ def test_core_throughput_gate():
     reference = committed.get("current_ips")
     if reference:
         floor = reference * (1 - REGRESSION_TOLERANCE)
-        assert ips >= floor, (
-            f"core throughput regressed: {ips:.0f} inst/s vs committed "
-            f"{reference:.0f} inst/s "
-            f"({100 * (1 - ips / reference):.0f}% drop, limit "
+        assert best >= floor, (
+            f"core throughput regressed: best {best:.0f} inst/s vs "
+            f"committed {reference:.0f} inst/s "
+            f"({100 * (1 - best / reference):.0f}% drop, limit "
             f"{100 * REGRESSION_TOLERANCE:.0f}%); if intentional, commit "
+            f"the rewritten BENCH_core.json")
+    assert ips > 0
+
+
+def test_core_throughput_gate_compiled():
+    """The compiled-kernel leg: only runs where the extension is built.
+
+    Records ``current_ips_compiled`` (median) and its own history into
+    ``BENCH_core.json``; warns when the speedup over the committed
+    interpreted ``current_ips`` misses the ``COMPILED_TARGET``; fails
+    on a >5% best-of-N regression against the leg's committed number.
+    """
+    if "compiled" not in available_backends():
+        pytest.skip("compiled kernel extension not built "
+                    "(REPRO_BUILD_COMPILED=1 pip install -e .[compiled])")
+    with use("compiled"):
+        ips, best = measure_ips()
+
+    committed = {}
+    if BENCH_FILE.exists():
+        committed = json.loads(BENCH_FILE.read_text())
+    interpreted = committed.get("current_ips", 0.0)
+    reference = committed.get("current_ips_compiled")
+    speedup = round(ips / interpreted, 2) if interpreted else None
+    entry = {"current_ips_compiled": round(ips, 1),
+             "compiled_speedup": speedup}
+    committed["current_ips_compiled"] = round(ips, 1)
+    committed["compiled_speedup"] = speedup
+    committed["history_compiled"] = (
+        committed.get("history_compiled", []) + [entry])[-HISTORY_LIMIT:]
+    BENCH_FILE.write_text(json.dumps(committed, indent=1) + "\n")
+
+    if interpreted and ips < COMPILED_TARGET * interpreted:
+        warnings.warn(
+            f"compiled kernel at {ips / interpreted:.2f}x the committed "
+            f"interpreted throughput, below the {COMPILED_TARGET}x "
+            f"target", stacklevel=1)
+    if reference:
+        floor = reference * (1 - REGRESSION_TOLERANCE)
+        assert best >= floor, (
+            f"compiled throughput regressed: best {best:.0f} inst/s vs "
+            f"committed {reference:.0f} inst/s; if intentional, commit "
             f"the rewritten BENCH_core.json")
     assert ips > 0
 

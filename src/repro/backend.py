@@ -1,0 +1,249 @@
+"""Runtime selection between the interpreted and compiled kernel.
+
+The simulator hot path lives in ``repro.uarch._kernel`` — a module set
+written to compile under **mypyc** (see ``setup.py``:
+``REPRO_BUILD_COMPILED=1 pip install -e .`` or
+``pip install -e .[compiled]``).  When the extension is built, the
+kernel modules import as C extensions under their canonical names; when
+it is not, the same ``.py`` sources import interpreted.  This module is
+the one place that looks, decides and reports:
+
+* ``get_backend()`` resolves the process-wide active backend from the
+  ``REPRO_BACKEND`` environment variable (``auto`` | ``python`` |
+  ``compiled``, default ``auto``) on first use and caches it;
+* ``auto`` prefers the compiled extension and falls back to the
+  interpreted kernel with a single ``logging`` note (silent by
+  default);
+* ``compiled`` **fails loudly** when the extension is absent — an
+  explicit request must never degrade silently;
+* ``python`` always yields the interpreted sources, loading them under
+  alias module names when a built extension shadows them — which is
+  what lets the dual-backend tests run both implementations in one
+  process;
+* the backend choice is *reported* (``repro-sim --profile``, provenance
+  manifests) but never keyed: both backends are pinned byte-identical
+  by the golden corpus, so results caches must hit across backends
+  (``tests/backend/`` asserts cache files are byte-identical).
+
+``activate()`` / ``use()`` switch the active backend programmatically;
+they exist for tests and tools, not for the middle of a simulation —
+cores bind their kernel classes at construction time.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib
+import importlib.machinery
+import importlib.util
+import logging
+import os
+import sys
+from pathlib import Path
+from types import ModuleType
+from typing import Dict, Iterator, Optional, Tuple
+
+ENV_VAR = "REPRO_BACKEND"
+BACKEND_CHOICES = ("auto", "python", "compiled")
+
+_KERNEL_PKG = "repro.uarch._kernel"
+_logger = logging.getLogger("repro.backend")
+
+
+class BackendError(RuntimeError):
+    """An explicit backend request that cannot be satisfied."""
+
+
+class Backend:
+    """The resolved kernel implementation the process is running on.
+
+    ``entry_pool`` / ``events`` / ``ffexec`` are the kernel modules of
+    this backend; consumers take classes and functions off them instead
+    of importing ``repro.uarch._kernel.*`` directly.
+    """
+
+    def __init__(self, name: str, requested: str,
+                 entry_pool: ModuleType, events: ModuleType,
+                 ffexec: ModuleType, extension_version: str,
+                 fallback_reason: str = ""):
+        self.name = name  # "python" | "compiled"
+        self.requested = requested  # what the env/caller asked for
+        self.entry_pool = entry_pool
+        self.events = events
+        self.ffexec = ffexec
+        #: Human-readable extension identity ("" on the python backend);
+        #: recorded in provenance manifests next to the backend name.
+        self.extension_version = extension_version
+        self.kernel_version = _kernel_package().KERNEL_VERSION
+        #: Why an ``auto`` request did not get the compiled kernel.
+        self.fallback_reason = fallback_reason
+
+    @property
+    def compiled(self) -> bool:
+        return self.name == "compiled"
+
+    def summary(self) -> str:
+        """One-line identity for --profile output and logs."""
+        if self.compiled:
+            return f"backend=compiled ({self.extension_version})"
+        return "backend=python"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Backend {self.name} (requested {self.requested})>"
+
+
+def _kernel_package() -> ModuleType:
+    """The ``repro.uarch._kernel`` package, imported on first use.
+
+    Deferred (not a module-level import) because importing the kernel
+    package initialises ``repro.uarch`` — whose core imports this
+    module right back; at call time both are fully initialised.
+    """
+    return importlib.import_module(_KERNEL_PKG)
+
+
+def _module_is_compiled(module: ModuleType) -> bool:
+    """True when *module* imported as a built extension, not source."""
+    filename = getattr(module, "__file__", None)
+    return filename is not None and not filename.endswith(".py")
+
+
+def _import_canonical() -> Dict[str, ModuleType]:
+    """The kernel modules under their canonical import names."""
+    return {stem: importlib.import_module(f"{_KERNEL_PKG}.{stem}")
+            for stem in _kernel_package().KERNEL_MODULES}
+
+
+def _import_source(stem: str) -> ModuleType:
+    """Load the interpreted ``.py`` kernel module under an alias name.
+
+    Used only when a built extension shadows the canonical name: the
+    alias (``repro.uarch._kernel._py_<stem>``) keeps the module's
+    package context, so its relative imports still resolve, while the
+    canonical name keeps pointing at the extension.
+    """
+    fullname = f"{_KERNEL_PKG}._py_{stem}"
+    cached = sys.modules.get(fullname)
+    if cached is not None:
+        return cached
+    package = importlib.import_module(_KERNEL_PKG)
+    package_file = getattr(package, "__file__", None)
+    if package_file is None:  # pragma: no cover - namespace-package guard
+        raise BackendError(f"{_KERNEL_PKG} has no source directory")
+    source = Path(package_file).with_name(f"{stem}.py")
+    loader = importlib.machinery.SourceFileLoader(fullname, str(source))
+    spec = importlib.util.spec_from_loader(fullname, loader)
+    if spec is None:  # pragma: no cover - spec_from_loader never fails here
+        raise BackendError(f"cannot load interpreted kernel from {source}")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[fullname] = module
+    loader.exec_module(module)
+    return module
+
+
+def resolve_backend(requested: str) -> Backend:
+    """Resolve *requested* (``auto``/``python``/``compiled``) fresh.
+
+    Raises :class:`BackendError` on an unknown name, on an explicit
+    ``compiled`` request without a built extension, and on a partial
+    build (some kernel modules compiled, some not — a broken install
+    that must never be half-used).
+    """
+    if requested not in BACKEND_CHOICES:
+        raise BackendError(
+            f"unknown {ENV_VAR} value {requested!r}: "
+            f"choose one of {', '.join(BACKEND_CHOICES)}")
+    canonical = _import_canonical()
+    compiled_flags = [_module_is_compiled(m) for m in canonical.values()]
+    if any(compiled_flags) and not all(compiled_flags):
+        broken = ", ".join(
+            stem for stem, is_c in zip(canonical, compiled_flags)
+            if not is_c)
+        raise BackendError(
+            f"partial compiled kernel: {broken} imported as source while "
+            f"other kernel modules are built extensions — rebuild with "
+            f"REPRO_BUILD_COMPILED=1 pip install -e . (or remove the "
+            f"stale extension files)")
+    extension_built = all(compiled_flags) and bool(compiled_flags)
+
+    if requested == "compiled" and not extension_built:
+        raise BackendError(
+            "REPRO_BACKEND=compiled but the compiled kernel extension is "
+            "not built.  Build it with:  REPRO_BUILD_COMPILED=1 "
+            "pip install -e .  (or: pip install -e .[compiled]), or use "
+            "REPRO_BACKEND=auto to fall back to the interpreted kernel.")
+
+    fallback_reason = ""
+    if requested == "auto" and not extension_built:
+        fallback_reason = "compiled kernel extension not built"
+        _logger.info(
+            "backend auto-selection: %s; running the interpreted kernel",
+            fallback_reason)
+
+    if requested != "python" and extension_built:
+        version = ("mypyc kernel-v"
+                   f"{_kernel_package().KERNEL_VERSION}")
+        return Backend("compiled", requested,
+                       canonical["entry_pool"], canonical["events"],
+                       canonical["ffexec"], version)
+    if extension_built:
+        # Explicit python request with an extension present: load the
+        # interpreted sources beside it under alias names.
+        modules = {stem: _import_source(stem)
+                   for stem in canonical}
+    else:
+        modules = canonical
+    return Backend("python", requested,
+                   modules["entry_pool"], modules["events"],
+                   modules["ffexec"], "", fallback_reason)
+
+
+def compiled_available() -> bool:
+    """True when the built kernel extension is importable."""
+    return all(_module_is_compiled(m)
+               for m in _import_canonical().values())
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The backend names that can actually run in this environment."""
+    if compiled_available():
+        return ("python", "compiled")
+    return ("python",)
+
+
+_active: Optional[Backend] = None
+
+
+def get_backend() -> Backend:
+    """The process-wide active backend (resolved once, then cached).
+
+    The first call reads ``REPRO_BACKEND`` (default ``auto``); later
+    env changes are ignored — switch programmatically with
+    :func:`activate` / :func:`use` instead.
+    """
+    global _active
+    if _active is None:
+        _active = resolve_backend(os.environ.get(ENV_VAR, "auto"))
+    return _active
+
+
+def activate(requested: str) -> Backend:
+    """Make *requested* the active backend and return it."""
+    global _active
+    _active = resolve_backend(requested)
+    return _active
+
+
+@contextlib.contextmanager
+def use(requested: str) -> Iterator[Backend]:
+    """Context manager: *requested* active inside, previous restored.
+
+    The previous backend object (not just its name) is restored, so a
+    never-resolved state stays never-resolved.
+    """
+    global _active
+    previous = _active
+    try:
+        yield activate(requested)
+    finally:
+        _active = previous

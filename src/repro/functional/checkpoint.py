@@ -43,7 +43,9 @@ import zlib
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from ..backend import get_backend
 from ..isa.program import Program
+from ..uarch._kernel.ffexec import FF_BAD_PC, FF_HALT
 from ..util.locking import FileLock, atomic_write_bytes
 from .compiled import HALT, CompiledProgram
 from .memory import PAGE_SIZE, Memory
@@ -92,20 +94,13 @@ def capture(program: Program, skip: int) -> WarmState:
     """
     state = ArchState(program)
     ff_entry = CompiledProgram(program).ff_entry
-    pc = state.pc
-    executed = 0
-    hit_halt = False
-    while executed < skip:
-        fn = ff_entry(pc)
-        if fn is None:
-            raise SimulationError(f"warm-up ran off program at {pc:#x}")
-        if fn is HALT:
-            hit_halt = True
-            break
-        pc = fn(state)
-        executed += 1
+    ffexec = get_backend().ffexec
+    pc, executed, status = ffexec.run_ff(
+        ff_entry, HALT, state, state.pc, skip, False)
+    if status == FF_BAD_PC:
+        raise SimulationError(f"warm-up ran off program at {pc:#x}")
     return WarmState(list(state.regs), state.memory.snapshot_pages(),
-                     pc, executed, skip, hit_halt)
+                     pc, executed, skip, status == FF_HALT)
 
 
 def serialize(warm: WarmState) -> bytes:

@@ -190,12 +190,17 @@ class FunctionalSimulator:
         # itself imports ExecOutcome from this module.
         if compiled:
             from .compiled import CompiledProgram, HALT
+            from ..backend import get_backend
             self._compiled: Optional["CompiledProgram"] = \
                 CompiledProgram(program)
             self._halt_sentinel = HALT
+            # The fast-forward dispatch loop is a kernel function
+            # (interpreted or mypyc-built, per the active backend).
+            self._ffexec = get_backend().ffexec
         else:
             self._compiled = None
             self._halt_sentinel = None
+            self._ffexec = None
 
     @property
     def pc(self) -> int:
@@ -241,29 +246,25 @@ class FunctionalSimulator:
         # Compiled fast-forward lane: no ExecOutcome allocation at all.
         # State mutations are identical to the interpreted loop (pinned
         # by tests/functional/test_compiled.py); like step(), an executed
-        # halt counts and leaves the PC on the halt instruction.
+        # halt counts and leaves the PC on the halt instruction.  The
+        # loop itself is the kernel's run_ff driver (shared with
+        # core.skip and checkpoint.capture).
+        if self.halted:
+            return 0
         state = self.state
-        ff_entry = self._compiled.ff_entry
-        halt = self._halt_sentinel
-        pc = state.pc
-        executed = 0
-        try:
-            while not self.halted:
-                if max_instructions is not None \
-                        and executed >= max_instructions:
-                    break
-                fn = ff_entry(pc)
-                if fn is None:
-                    raise SimulationError(f"no instruction at pc={pc:#x}")
-                if fn is halt:
-                    self.halted = True
-                    executed += 1
-                    break
-                pc = fn(state)
-                executed += 1
-        finally:  # keep state coherent even on a bad-PC error
-            state.pc = pc
-            self.instructions_retired += executed
+        ffexec = self._ffexec
+        budget = (ffexec.FF_UNBOUNDED if max_instructions is None
+                  else max_instructions)
+        pc, executed, status = ffexec.run_ff(
+            self._compiled.ff_entry, self._halt_sentinel, state,
+            state.pc, budget, True)
+        # Keep state coherent even on a bad-PC error.
+        state.pc = pc
+        self.instructions_retired += executed
+        if status == ffexec.FF_BAD_PC:
+            raise SimulationError(f"no instruction at pc={pc:#x}")
+        if status == ffexec.FF_HALT:
+            self.halted = True
         return executed
 
     def restore(self, warm) -> None:

@@ -1,0 +1,26 @@
+"""Backend-neutral hot-path kernel modules.
+
+Everything under ``repro.uarch._kernel`` is written to compile cleanly
+under **mypyc**: annotation-complete, no ``**kwargs`` on hot functions,
+no module-level mutable state, no dynamic attribute tricks (the
+``kernel-purity`` repro-lint rule pins these properties).  The same
+sources run interpreted when no extension is built — byte-identical
+behaviour on both paths is the whole contract, enforced by the golden
+corpus and the dual-backend tests.
+
+Import these modules through :func:`repro.backend.get_backend`, not
+directly: the backend layer is what decides whether you get the
+compiled extension or the interpreted source, reports which one is
+active, and keeps the choice out of every cache key.
+"""
+
+from typing import Tuple
+
+#: Version of the kernel module set; recorded (with the mypyc marker)
+#: in provenance manifests so a cached result always says which kernel
+#: produced it.  Bump on any behavioural kernel change.
+KERNEL_VERSION: str = "1"
+
+#: Module basenames that make up the kernel (build wiring in setup.py
+#: compiles exactly these; the backend layer imports exactly these).
+KERNEL_MODULES: Tuple[str, str, str] = ("entry_pool", "events", "ffexec")

@@ -40,10 +40,10 @@ this).
 from __future__ import annotations
 
 import gc
-import heapq
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
+from ..backend import get_backend
 from ..functional.compiled import CompiledProgram, HALT
 from ..functional.simulator import FunctionalSimulator, SimulationError
 from ..isa.opcodes import (
@@ -62,16 +62,19 @@ from .branch_predictor import BranchPredictorUnit
 from .cache import PortTracker, SetAssocCache
 from .config import BranchPolicy, IRValidation, MachineConfig, ReexecPolicy
 from .decode import DecodeTable
-from .entry import EntryPool, IDX_MASK, REG_MASK, REG_SHIFT, SEQ_SHIFT
+from .entry import IDX_MASK, REG_MASK, REG_SHIFT, SEQ_SHIFT
 from .fetch import FetchUnit
 from .functional_units import FunctionalUnits
+from ._kernel import events as _kernel_events
+from ._kernel import ffexec as _kernel_ffexec
 from .spec_state import SpeculativeState
 
-_EVENT_COMPLETE = 0
-_EVENT_RESOLVE = 1
-
-# Sentinel "no pending activity" cycle for the fast-forward bound.
-_FAR_FUTURE = 1 << 62
+# Event kinds and the "no pending activity" bound are kernel constants
+# (repro.uarch._kernel.events); the aliases keep the historical names
+# the tests import.  They are plain ints, identical on every backend.
+_EVENT_COMPLETE = _kernel_events.EVENT_COMPLETE
+_EVENT_RESOLVE = _kernel_events.EVENT_RESOLVE
+_FAR_FUTURE = _kernel_events.FAR_FUTURE
 
 # Consumer edges pack ((seq << SEQ_SHIFT | id) << REG_SHIFT) | reg; the
 # packed entry's upper bits are the producer-recorded seq of the consumer.
@@ -94,11 +97,19 @@ class OutOfOrderCore:
         self.dcache_ports = PortTracker(config.dcache.ports)
         self.spec = SpeculativeState(program)
 
+        # Kernel structures (entry pool, event heap, wakeup queue) come
+        # from the active backend — interpreted sources or the mypyc
+        # extension — bound here once; see repro.backend.  Late binding
+        # (at construction, not import) is what lets tests and the CLI
+        # switch backends per process without re-importing this module.
+        backend = self.backend = get_backend()
+
         # All dynamic instruction state lives in the entry pool; the
         # sizing covers the ROB plus the retired-but-pinned tail (slots
         # kept alive by live consumers' producer edges) without growth
         # in the steady state.
-        pool = self.pool = EntryPool(config.rob_size * 4 + 32)
+        pool = self.pool = backend.entry_pool.EntryPool(
+            config.rob_size * 4 + 32)
         # One-hop bindings of every pool array the hot path touches.
         # ``_grow`` extends the lists in place, so these stay valid.
         self.e_seq = pool.seq_of
@@ -163,15 +174,20 @@ class OutOfOrderCore:
         self.rename: List[Optional[int]] = [None] * NUM_REGS
         self.rob: Deque[int] = deque()
         self.lsq: Deque[int] = deque()
-        self.events: List[Tuple[int, int, int, int]] = []
+        # Completion-event heap and wakeup queue are kernel structures;
+        # the core borrows their backing lists (``events`` /
+        # ``issue_queue``) for local-variable-speed scans and routes the
+        # invariant-bearing mutations through the kernel methods.
+        self._eventq = backend.events.EventQueue()
+        self.events: List[Tuple[int, int, int, int]] = self._eventq.heap
         # Wakeup queue of tokens: the only instructions issue examines.
         # An op is resident from dispatch until it issues or can never
         # issue again; re-executions re-enter through _queue_for_issue.
         # Kept in seq order (token order == seq order; re-adds mark the
         # queue dirty and it is re-sorted at the top of _issue) so issue
         # priority matches ROB order exactly.
-        self.issue_queue: List[int] = []
-        self._issue_q_dirty = False
+        self._wakeq = backend.events.WakeupQueue()
+        self.issue_queue: List[int] = self._wakeq.tokens
 
         self.cycle = 0
         self.seq = 0
@@ -274,18 +290,11 @@ class OutOfOrderCore:
         # the interpreted loop did, but with no ExecOutcome allocation;
         # like before, the halt is left unexecuted for the front end.
         compiled = CompiledProgram(self.program)
-        ff_entry = compiled.ff_entry
-        spec = self.spec
-        pc = self.program.entry_point
-        executed = 0
-        while executed < instructions:
-            fn = ff_entry(pc)
-            if fn is None:
-                raise SimulationError(f"skip ran off program at {pc:#x}")
-            if fn is HALT:
-                break
-            pc = fn(spec)
-            executed += 1
+        pc, executed, status = self.backend.ffexec.run_ff(
+            compiled.ff_entry, HALT, self.spec,
+            self.program.entry_point, instructions, False)
+        if status == _kernel_ffexec.FF_BAD_PC:
+            raise SimulationError(f"skip ran off program at {pc:#x}")
         self.fetch_unit.fetch_pc = pc
         if self.oracle is not None:
             self.oracle.skip(executed)
@@ -511,18 +520,18 @@ class OutOfOrderCore:
     # ---------------------------------------------------------------- events --
 
     def _schedule(self, cycle: int, kind: int, i: int) -> None:
-        heapq.heappush(self.events, (cycle, self.e_seq[i], kind, i))
+        self._eventq.push(cycle, self.e_seq[i], kind, i)
 
     def _process_events(self) -> None:
         events = self.events
         cycle = self.cycle
         profile = self.profile
-        heappop = heapq.heappop
+        heappop = self._eventq.pop
         e_seq = self.e_seq
         e_completes_at = self.e_completes_at
         e_issued = self.e_issued
         while events and events[0][0] <= cycle:
-            _, seq, kind, i = heappop(events)
+            _, seq, kind, i = heappop()
             if profile is not None:
                 profile.events_processed += 1
             if e_seq[i] != seq:
@@ -794,22 +803,16 @@ class OutOfOrderCore:
         """Add slot *i* to the wakeup queue (idempotent)."""
         if self.e_in_iq[i]:
             return
-        queue = self.issue_queue
-        tok = (self.e_seq[i] << SEQ_SHIFT) | i
-        if queue and queue[-1] > tok:
-            self._issue_q_dirty = True  # re-add of an older op: re-sort
-        queue.append(tok)
+        self._wakeq.add((self.e_seq[i] << SEQ_SHIFT) | i)
         self.e_in_iq[i] = True
 
     def _issue(self) -> None:
         queue = self.issue_queue
         if not queue:
             return
-        if self._issue_q_dirty:
-            # Tokens order by seq (the high bits), so a plain sort is
-            # exactly the old sort-by-seq.
-            queue.sort()
-            self._issue_q_dirty = False
+        # Re-adds of older ops mark the queue dirty; the kernel re-sorts
+        # once here (token order == seq order) before the scan.
+        self._wakeq.ensure_sorted()
         cycle = self.cycle
         width = self.config.issue_width
         stats = self.stats
@@ -946,6 +949,9 @@ class OutOfOrderCore:
             self._start_execution(i, address, forwarding)
             e_in_iq[i] = False
             issued += 1
+        # The scan's survivor list becomes the queue; keep the borrowed
+        # ``issue_queue`` alias pointing at the kernel's backing list.
+        self._wakeq.replace(keep)
         self.issue_queue = keep
 
     def _load_address(self, i: int) -> Optional[int]:

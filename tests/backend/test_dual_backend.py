@@ -1,0 +1,150 @@
+"""Cross-backend byte-identity: the dual-backend test wall.
+
+Every test here parameterizes over :func:`available_backends` — on a
+pure-Python checkout that is ``("python",)`` and the cross-checks
+degrade to determinism checks (same backend, two runs, identical
+bytes); with the mypyc extension built (the CI ``compiled`` job) the
+same tests compare the two implementations against each other:
+
+* ``SimStats.canonical_json()`` byte-identical across backends for a
+  representative config slice (the *full* golden corpus re-runs under
+  ``REPRO_BACKEND=compiled`` in CI — this is the in-process variant);
+* experiment cache files byte-identical, and the cache key free of any
+  backend identity — a cached result must hit regardless of which
+  backend produced or reads it;
+* fresh kernel pool slots match the façade's ``_SCALAR_DEFAULTS`` spec
+  table (the kernel writes its grow/reset code out field by field; this
+  is the cross-check that keeps code and spec from drifting);
+* the ``run_ff`` driver reports the same (pc, executed, status) triples.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro import assemble
+from repro.backend import available_backends, use
+from repro.experiments.runner import ExperimentRunner
+from repro.functional.compiled import CompiledProgram, HALT
+from repro.functional.simulator import ArchState
+from repro.uarch.config import (
+    base_config,
+    hybrid_config,
+    ir_config,
+    vp_config,
+)
+from repro.uarch.core import OutOfOrderCore
+from repro.workloads import get_workload
+
+BACKENDS = available_backends()
+
+CONFIGS = [base_config, ir_config, vp_config, hybrid_config]
+
+INSTRUCTIONS = 2_000
+MAX_CYCLES = 200_000
+
+
+def _stats_bytes(backend_name, factory):
+    with use(backend_name):
+        spec = get_workload("compress")
+        core = OutOfOrderCore(factory(), spec.program("ref"))
+        core.skip(spec.skip_instructions)
+        stats = core.run(max_cycles=MAX_CYCLES,
+                         max_instructions=INSTRUCTIONS)
+    return stats.canonical_json()
+
+
+@pytest.mark.parametrize("factory", CONFIGS,
+                         ids=lambda f: f.__name__)
+def test_simstats_byte_identical_across_backends(factory):
+    # One run per available backend, plus a repeat of the first: with a
+    # single backend this still pins run-to-run determinism.
+    runs = [(name, _stats_bytes(name, factory)) for name in BACKENDS]
+    runs.append((f"{BACKENDS[0]} (repeat)",
+                 _stats_bytes(BACKENDS[0], factory)))
+    reference_name, reference = runs[0]
+    for name, blob in runs[1:]:
+        assert blob == reference, (
+            f"SimStats diverge between {reference_name} and {name}")
+
+
+def test_cache_files_byte_identical_across_backends(tmp_path):
+    per_backend = {}
+    for name in BACKENDS:
+        cache = tmp_path / name
+        with use(name):
+            runner = ExperimentRunner(max_instructions=500,
+                                      max_cycles=60_000,
+                                      cache_dir=cache,
+                                      manifests=False, quiet=True)
+            runner.run("compress", base_config())
+            runner.run("compress", ir_config())
+        per_backend[name] = {p.name: p.read_bytes()
+                             for p in cache.glob("*.json")}
+    names = {frozenset(files) for files in per_backend.values()}
+    assert len(names) == 1, "cache keys differ between backends"
+    for filename in next(iter(names)):
+        # The backend must never leak into the key: a million users on
+        # mixed installs share one cache.
+        assert "backend" not in filename
+        assert "compiled" not in filename
+        assert "python" not in filename
+        blobs = {per_backend[name][filename] for name in per_backend}
+        assert len(blobs) == 1, (
+            f"cache file {filename} differs between backends")
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_fresh_slots_match_scalar_defaults(backend_name):
+    """The kernel's explicit ``_grow`` matches the façade's spec table."""
+    from repro.uarch.entry import _SCALAR_DEFAULTS
+    with use(backend_name) as active:
+        pool = active.entry_pool.EntryPool(8)
+        for field, default in _SCALAR_DEFAULTS:
+            column = getattr(pool, field)
+            assert len(column) == 8, field
+            for value in column:
+                assert value == default, field
+                assert type(value) is type(default), field
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_run_ff_statuses_and_state(backend_name):
+    program = assemble("""
+    main: li $t0, 3
+    loop: addi $t0, $t0, -1
+          bnez $t0, loop
+          halt
+    """)
+    compiled = CompiledProgram(program)
+    with use(backend_name) as active:
+        ffexec = active.ffexec
+
+        # Budget exhausted strictly before the halt.
+        state = ArchState(program)
+        pc, executed, status = ffexec.run_ff(
+            compiled.ff_entry, HALT, state, state.pc, 2, False)
+        assert (executed, status) == (2, ffexec.FF_BUDGET)
+
+        # Run into the halt; the PC parks on it either way, and
+        # execute_halt picks the caller's counting convention.
+        state = ArchState(program)
+        pc, executed, status = ffexec.run_ff(
+            compiled.ff_entry, HALT, state, state.pc,
+            ffexec.FF_UNBOUNDED, False)
+        assert status == ffexec.FF_HALT
+        assert executed == 7  # li + 3x(addi, bnez)
+        halt_pc = pc
+        state = ArchState(program)
+        pc2, executed2, status2 = ffexec.run_ff(
+            compiled.ff_entry, HALT, state, state.pc,
+            ffexec.FF_UNBOUNDED, True)
+        assert (pc2, executed2, status2) == (
+            halt_pc, 8, ffexec.FF_HALT)
+
+        # A PC with no instruction reports FF_BAD_PC (raising is the
+        # caller's job).
+        state = ArchState(program)
+        pc3, executed3, status3 = ffexec.run_ff(
+            lambda _pc: None, HALT, state, state.pc, 5, False)
+        assert (executed3, status3) == (0, ffexec.FF_BAD_PC)

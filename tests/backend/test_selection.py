@@ -1,0 +1,163 @@
+"""Backend-selection semantics (repro.backend).
+
+The contract under test:
+
+* an unknown ``REPRO_BACKEND`` value and an explicit ``compiled``
+  request without a built extension both **fail loudly**
+  (:class:`BackendError`), in-process and end-to-end through the env
+  variable;
+* ``auto`` without the extension falls back to the interpreted kernel
+  silently, leaving exactly one note on the ``repro.backend`` logger;
+* ``activate``/``use`` switch and restore the cached choice;
+* the façade (``repro.uarch.entry``) and the core's historical event
+  constants resolve to the kernel's, identically on every backend.
+"""
+
+import logging
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import backend
+from repro.backend import (
+    BACKEND_CHOICES,
+    BackendError,
+    available_backends,
+    compiled_available,
+    get_backend,
+    resolve_backend,
+    use,
+)
+
+
+class TestResolution:
+    def test_unknown_name_fails_loudly(self):
+        with pytest.raises(BackendError, match="unknown REPRO_BACKEND"):
+            resolve_backend("fortran")
+
+    def test_choices_are_documented(self):
+        assert BACKEND_CHOICES == ("auto", "python", "compiled")
+
+    def test_python_always_available(self):
+        assert "python" in available_backends()
+        resolved = resolve_backend("python")
+        assert resolved.name == "python"
+        assert not resolved.compiled
+        assert resolved.extension_version == ""
+        assert resolved.summary() == "backend=python"
+
+    def test_auto_resolves_to_an_available_backend(self):
+        resolved = resolve_backend("auto")
+        assert resolved.name in available_backends()
+        assert resolved.requested == "auto"
+
+    def test_compiled_absent_errors_loudly(self):
+        if compiled_available():
+            pytest.skip("compiled extension present in this environment")
+        with pytest.raises(BackendError, match="REPRO_BACKEND=compiled"):
+            resolve_backend("compiled")
+
+    def test_auto_fallback_leaves_one_log_note(self, caplog):
+        if compiled_available():
+            pytest.skip("compiled extension present in this environment")
+        with caplog.at_level(logging.INFO, logger="repro.backend"):
+            resolved = resolve_backend("auto")
+        assert resolved.name == "python"
+        assert resolved.fallback_reason
+        notes = [r for r in caplog.records if r.name == "repro.backend"]
+        assert len(notes) == 1
+        assert "interpreted kernel" in notes[0].getMessage()
+
+    def test_explicit_python_never_logs_a_fallback(self, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.backend"):
+            resolved = resolve_backend("python")
+        assert resolved.fallback_reason == ""
+        assert not [r for r in caplog.records
+                    if r.name == "repro.backend"]
+
+
+class TestActivation:
+    def test_get_backend_is_cached(self):
+        assert get_backend() is get_backend()
+
+    def test_use_restores_previous_backend(self):
+        before = get_backend()
+        with use("python") as inner:
+            assert get_backend() is inner
+            assert inner.name == "python"
+        assert get_backend() is before
+
+    def test_activate_switches_the_cached_backend(self):
+        before = get_backend()
+        try:
+            switched = backend.activate("python")
+            assert get_backend() is switched
+        finally:
+            backend._active = before
+
+
+class TestEnvEndToEnd:
+    """The env variable drives a real process (subprocess: the cached
+    selection is per-process state)."""
+
+    def _run(self, value):
+        env = dict(os.environ, REPRO_BACKEND=value)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-c",
+             "from repro import OutOfOrderCore, assemble, base_config\n"
+             "program = assemble('main: li $t0, 1\\nhalt\\n')\n"
+             "stats = OutOfOrderCore(base_config(), program).run()\n"
+             "from repro.backend import get_backend\n"
+             "print(get_backend().name, stats.committed)\n"],
+            capture_output=True, text=True, env=env, timeout=120)
+
+    def test_compiled_env_fails_loudly_when_absent(self):
+        if compiled_available():
+            pytest.skip("compiled extension present in this environment")
+        result = self._run("compiled")
+        assert result.returncode != 0
+        assert "REPRO_BACKEND=compiled" in result.stderr
+        assert "REPRO_BUILD_COMPILED=1" in result.stderr  # how to fix it
+
+    def test_auto_env_runs_on_an_available_backend(self):
+        result = self._run("auto")
+        assert result.returncode == 0, result.stderr
+        name, committed = result.stdout.split()
+        assert name in ("python", "compiled")
+        assert int(committed) > 0
+
+    def test_bad_env_value_fails_loudly(self):
+        result = self._run("jit")
+        assert result.returncode != 0
+        assert "unknown REPRO_BACKEND" in result.stderr
+
+
+class TestKernelConstantsParity:
+    def test_facade_constants_match_kernel(self):
+        from repro.uarch import entry
+        from repro.uarch._kernel import entry_pool
+        assert entry.SEQ_SHIFT == entry_pool.SEQ_SHIFT
+        assert entry.IDX_MASK == entry_pool.IDX_MASK
+        assert entry.REG_SHIFT == entry_pool.REG_SHIFT
+        assert entry.REG_MASK == entry_pool.REG_MASK
+
+    def test_core_event_constants_match_kernel(self):
+        from repro.uarch import core
+        from repro.uarch._kernel import events
+        assert core._EVENT_COMPLETE == events.EVENT_COMPLETE
+        assert core._EVENT_RESOLVE == events.EVENT_RESOLVE
+        assert core._FAR_FUTURE == events.FAR_FUTURE
+
+    def test_facade_resolves_classes_through_backend(self):
+        from repro.uarch import entry
+        active = get_backend()
+        assert entry.EntryPool is active.entry_pool.EntryPool
+        assert entry.CommittedOp is active.entry_pool.CommittedOp
+
+    def test_facade_unknown_attribute_raises(self):
+        from repro.uarch import entry
+        with pytest.raises(AttributeError):
+            entry.InflightOp

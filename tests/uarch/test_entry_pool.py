@@ -16,6 +16,10 @@ three load-bearing invariants directly, without a core in the loop:
   interval sampler cross-checks against ROB occupancy; live/pinned must
   track alloc/retire/free exactly, and a full in-flight population must
   equal the ROB+wrong-path population the core reports.
+
+Every test runs once per available kernel backend (``python`` always;
+``compiled`` too when the mypyc extension is built), so the invariants
+are pinned on both implementations, not just the interpreted one.
 """
 
 import pytest
@@ -23,11 +27,28 @@ import pytest
 hypothesis = pytest.importorskip("hypothesis")
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from repro.backend import available_backends, use
 from repro.isa import assemble
 from repro.uarch.config import base_config, hybrid_config, vp_config
 from repro.uarch.core import OutOfOrderCore
-from repro.uarch.entry import _SCALAR_DEFAULTS, IDX_MASK, SEQ_SHIFT, EntryPool
+from repro.uarch.entry import _SCALAR_DEFAULTS, IDX_MASK, SEQ_SHIFT
 from repro.workloads.random_program import random_program
+
+BACKENDS = available_backends()
+
+each_backend = pytest.mark.parametrize("backend_name", BACKENDS)
+
+
+def _make_pool(backend_name, capacity):
+    with use(backend_name) as active:
+        return active.entry_pool.EntryPool(capacity)
+
+
+def _make_core(backend_name, config, program, cls=OutOfOrderCore):
+    # The core snapshots the backend at construction; running it later
+    # outside the context keeps using the same kernel modules.
+    with use(backend_name):
+        return cls(config, program)
 
 #: Identity fields: written unconditionally by every alloc, so free()
 #: deliberately leaves them stale (seq_of is the exception — it is the
@@ -105,18 +126,19 @@ def _smudge(pool, i):
 # ---------------------------------------------------------------- aliasing --
 
 
+@each_backend
 @settings(max_examples=60, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(ops=st.lists(st.integers(0, 2), min_size=1, max_size=200),
        capacity=st.integers(1, 8))
-def test_tokens_never_alias_across_recycling(ops, capacity):
+def test_tokens_never_alias_across_recycling(backend_name, ops, capacity):
     """No recycling pattern can make a stale token validate.
 
     Ops: 0 = alloc, 1 = free oldest live, 2 = free newest live.  Every
     token ever issued is remembered; at each step exactly the tokens of
     currently-live allocations may validate.
     """
-    pool = EntryPool(capacity)
+    pool = _make_pool(backend_name, capacity)
     seq = 0
     live = {}  # token -> slot
     dead = set()
@@ -140,12 +162,13 @@ def test_tokens_never_alias_across_recycling(ops, capacity):
     assert len(pool.free_list) == pool.capacity - len(live)
 
 
+@each_backend
 @settings(max_examples=40, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(rounds=st.integers(1, 300))
-def test_recycled_ids_never_collide_with_live(rounds):
+def test_recycled_ids_never_collide_with_live(backend_name, rounds):
     """A LIFO-recycled id reused immediately still gets a unique token."""
-    pool = EntryPool(2)
+    pool = _make_pool(backend_name, 2)
     seq = 0
     prev_tok = None
     for _ in range(rounds):
@@ -162,11 +185,13 @@ def test_recycled_ids_never_collide_with_live(rounds):
 # ------------------------------------------------------------ array reset --
 
 
+@each_backend
 @settings(max_examples=60, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(kind=st.integers(0, 3), retire_first=st.booleans(),
        data=st.data())
-def test_free_restores_pristine_state(kind, retire_first, data):
+def test_free_restores_pristine_state(backend_name, kind, retire_first,
+                                      data):
     """After free(), a slot is indistinguishable from a never-used one.
 
     This is the squash-as-array-reset property: the core's recovery
@@ -174,7 +199,7 @@ def test_free_restores_pristine_state(kind, retire_first, data):
     reset must cover every field an execution could have dirtied —
     including the gated groups, which stay on in a bare pool.
     """
-    pool = EntryPool(4)
+    pool = _make_pool(backend_name, 4)
     assert pool.reset_vp and pool.reset_ir and pool.reset_reexec
     i = pool.alloc(1, _KINDS[kind], None, cycle=5)
     _smudge(pool, i)
@@ -194,15 +219,17 @@ def test_free_restores_pristine_state(kind, retire_first, data):
     assert pool.producers[j] == {}
 
 
+@each_backend
 @settings(max_examples=30, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(seed=st.integers(0, 2**16), size=st.integers(10, 50),
        config=st.sampled_from([base_config, vp_config, hybrid_config]))
-def test_squash_leaves_only_preserved_state(seed, size, config):
+def test_squash_leaves_only_preserved_state(backend_name, seed, size,
+                                            config):
     """After a full run, every non-live slot in the core's pool is
     pristine: each squash range was restored by pure array resets."""
     program = assemble(random_program(seed, size=size))
-    core = OutOfOrderCore(config(), program)
+    core = _make_core(backend_name, config(), program)
     core.run(max_cycles=200_000)
     pool = core.pool
     live = set(core.rob)
@@ -236,23 +263,27 @@ class _OccupancyCore(OutOfOrderCore):
                  self.pool.live, self.pool.pinned))
 
 
+@each_backend
 @settings(max_examples=25, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(seed=st.integers(0, 2**18), size=st.integers(10, 60),
        config=st.sampled_from([base_config, vp_config, hybrid_config]))
-def test_pool_occupancy_matches_rob(seed, size, config):
+def test_pool_occupancy_matches_rob(backend_name, seed, size, config):
     program = assemble(random_program(seed, size=size))
-    core = _OccupancyCore(config(), program)
+    core = _make_core(backend_name, config(), program,
+                      cls=_OccupancyCore)
     core.run(max_cycles=200_000)
     assert not core.mismatches, core.mismatches[:5]
     assert core.pool.live == 0, "run ended with leaked live slots"
 
 
-def test_telemetry_occupancy_rows_match_pool():
+@each_backend
+def test_telemetry_occupancy_rows_match_pool(backend_name):
     """The interval rows telemetry writes sample len(core.rob) — the
     quantity test_pool_occupancy_matches_rob proves equals pool.live."""
     program = assemble(random_program(3, size=40))
-    core = _OccupancyCore(base_config(), program)
+    core = _make_core(backend_name, base_config(), program,
+                      cls=_OccupancyCore)
     core.enable_telemetry(interval=16, events=False)
     core.run(max_cycles=200_000)
     assert not core.mismatches
