@@ -32,6 +32,7 @@ the leg skips — the interpreted gate is unaffected.
 
 import json
 import statistics
+import tempfile
 import time
 import warnings
 from pathlib import Path
@@ -39,6 +40,11 @@ from pathlib import Path
 import pytest
 
 from repro.backend import available_backends, use
+from repro.experiments.runner import ExperimentRunner
+from repro.metrics.bench_report import (
+    bounded_history,
+    normalize_core_history,
+)
 from repro.uarch.config import (
     PredictorKind,
     base_config,
@@ -68,11 +74,14 @@ KERNEL = [
     ("compress", zoo_select_config, 10_000),
 ]
 REGRESSION_TOLERANCE = 0.05  # FAIL when >5% below the committed number
-HISTORY_LIMIT = 20  # benchmark runs kept in the ``history`` list
+# History length is bounded by the shared helper in
+# repro.metrics.bench_report (HISTORY_LIMIT), the same bound
+# BENCH_sweep.json uses — repro-bench-report renders both.
 
 
 #: Telemetry-on runs must stay within this factor of telemetry-off
-#: wallclock (the observability promise in docs/telemetry.md).
+#: wallclock (the observability promise in docs/telemetry.md).  The
+#: span/progress tracing layer shares the budget.
 TELEMETRY_OVERHEAD_LIMIT = 1.5
 
 
@@ -127,7 +136,7 @@ def test_core_throughput_gate():
         "current_ips": round(ips, 1),
         "speedup_vs_seed": round(ips / seed, 2),
     }
-    history = (committed.get("history", []) + [entry])[-HISTORY_LIMIT:]
+    history = bounded_history(committed.get("history"), entry)
     record = {
         "kernel": [[w, f.__name__, n] for w, f, n in KERNEL],
         "seed_ips": seed,
@@ -136,10 +145,15 @@ def test_core_throughput_gate():
         "history": history,
     }
     # Keys owned by the other benchmark legs ride along unchanged.
-    for key in ("telemetry_overhead", "current_ips_compiled",
-                "compiled_speedup", "history_compiled"):
+    for key in ("telemetry_overhead", "tracing_overhead",
+                "current_ips_compiled", "compiled_speedup",
+                "history_compiled"):
         if key in committed:
             record[key] = committed[key]
+    # One schema for every history entry: older entries carried only
+    # current_ips; speedup_vs_seed is backfilled from the (fixed)
+    # seed_ips denominator.
+    record = normalize_core_history(record)
     BENCH_FILE.write_text(json.dumps(record, indent=1) + "\n")
 
     # Hard gate: best-of-N against the committed number absorbs normal
@@ -182,8 +196,8 @@ def test_core_throughput_gate_compiled():
              "compiled_speedup": speedup}
     committed["current_ips_compiled"] = round(ips, 1)
     committed["compiled_speedup"] = speedup
-    committed["history_compiled"] = (
-        committed.get("history_compiled", []) + [entry])[-HISTORY_LIMIT:]
+    committed["history_compiled"] = bounded_history(
+        committed.get("history_compiled"), entry)
     BENCH_FILE.write_text(json.dumps(committed, indent=1) + "\n")
 
     if interpreted and ips < COMPILED_TARGET * interpreted:
@@ -223,6 +237,63 @@ def test_telemetry_overhead_gate():
     if best_ratio > TELEMETRY_OVERHEAD_LIMIT:
         warnings.warn(
             f"telemetry overhead {best_ratio:.2f}x exceeds the "
+            f"{TELEMETRY_OVERHEAD_LIMIT}x budget",
+            stacklevel=1)
+    assert best_ratio > 0
+
+
+#: The sweep slice timed by the tracing-overhead gate: a cold jobs=1
+#: fan-out, plain vs fully observed (--telemetry-dir semantics:
+#: interval series + span tracing + live progress).
+TRACING_PAIRS = [("compress", base_config), ("compress", hybrid_config),
+                 ("ijpeg", base_config), ("ijpeg", hybrid_config)]
+TRACING_INSTRUCTIONS = 4_000
+TRACING_MAX_CYCLES = 200_000
+
+
+def _run_sweep(tmp: Path, traced: bool) -> float:
+    """One cold sweep over TRACING_PAIRS; returns wallclock seconds."""
+    settings = {
+        "max_instructions": TRACING_INSTRUCTIONS,
+        "max_cycles": TRACING_MAX_CYCLES,
+        "cache_dir": tmp / "results",
+        "quiet": True,
+        "jobs": 1,
+        "manifests": False,
+    }
+    if traced:
+        settings["telemetry_dir"] = tmp / "results" / "telemetry"
+    runner = ExperimentRunner(**settings)
+    pairs = [(workload, factory())
+             for workload, factory in TRACING_PAIRS]
+    start = time.perf_counter()
+    runner.run_many(pairs)
+    return time.perf_counter() - start
+
+
+def test_tracing_overhead_gate():
+    """A fully observed sweep (interval series + spans + progress) must
+    stay within the same ``TELEMETRY_OVERHEAD_LIMIT`` budget as the
+    per-run telemetry gate.  Records ``tracing_overhead`` into
+    ``BENCH_core.json``; warns (never fails) on a budget miss, exactly
+    like the other wallclock legs."""
+    best_ratio = float("inf")
+    for _ in range(3):
+        with tempfile.TemporaryDirectory() as plain_tmp:
+            plain = _run_sweep(Path(plain_tmp), traced=False)
+        with tempfile.TemporaryDirectory() as traced_tmp:
+            traced = _run_sweep(Path(traced_tmp), traced=True)
+        best_ratio = min(best_ratio, traced / plain)
+
+    committed = {}
+    if BENCH_FILE.exists():
+        committed = json.loads(BENCH_FILE.read_text())
+    committed["tracing_overhead"] = round(best_ratio, 3)
+    BENCH_FILE.write_text(json.dumps(committed, indent=1) + "\n")
+
+    if best_ratio > TELEMETRY_OVERHEAD_LIMIT:
+        warnings.warn(
+            f"sweep tracing overhead {best_ratio:.2f}x exceeds the "
             f"{TELEMETRY_OVERHEAD_LIMIT}x budget",
             stacklevel=1)
     assert best_ratio > 0

@@ -31,6 +31,7 @@ import warnings
 from pathlib import Path
 
 from repro.experiments.runner import ExperimentRunner
+from repro.metrics.bench_report import bounded_history
 from repro.uarch.config import (
     base_config,
     hybrid_config,
@@ -63,7 +64,8 @@ WINDOW = 20_000
 
 REPEATS = 2
 TARGET_SPEEDUP = 3.0  # the acceptance bar for cold vs baseline
-HISTORY_LIMIT = 20
+# History is bounded by repro.metrics.bench_report.bounded_history —
+# the single helper both BENCH files share.
 
 
 def _run_kernel(cache_dir: Path, checkpoint_dir: Path) -> float:
@@ -112,8 +114,7 @@ def test_sweep_throughput_gate():
             baseline / measured["cold_seconds"], 2)
         entry["warm_speedup_vs_baseline"] = round(
             baseline / measured["warm_seconds"], 2)
-    history = committed.get("history", [])
-    history = (history + [entry])[-HISTORY_LIMIT:]
+    history = bounded_history(committed.get("history"), entry)
 
     record = {
         "kernel": {

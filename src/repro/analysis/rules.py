@@ -103,6 +103,68 @@ class NoWallclockRule(Rule):
                         "time")
 
 
+#: Module basenames (under ``repro/telemetry/``) whose *durations* are
+#: part of the observability contract: span widths and heartbeat ages
+#: must come from monotonic clocks only, never wallclock.
+MONOTONIC_TRACING_MODULES = ("spans.py", "progress.py")
+
+#: ``time.`` functions that observe wallclock or convert to/from it.
+_WALLCLOCK_TIME_FNS = frozenset((
+    "time.time", "time.time_ns", "time.localtime", "time.gmtime",
+    "time.mktime", "time.strftime", "time.strptime", "time.ctime",
+    "time.asctime",
+))
+
+
+class MonotonicTimeRule(Rule):
+    """Span/progress timing must be monotonic.
+
+    The tracing modules (``repro/telemetry/spans.py`` and
+    ``progress.py``) stamp durations and heartbeat ages; a wallclock
+    read there would make span widths jump on NTP steps and tie the
+    byte-stable identity surface to the host clock.  ``time.monotonic``
+    / ``time.perf_counter`` (and ``time.sleep``) are allowed;
+    ``time.time`` and friends, and any ``datetime`` import, are not.
+    """
+
+    id = "monotonic-tracing"
+    description = ("telemetry tracing modules (spans.py/progress.py) "
+                   "may only read monotonic clocks — no time.time or "
+                   "datetime")
+
+    def _applies(self, module: ModuleInfo) -> bool:
+        parts = module.relpath.split("/")
+        return module.in_package("telemetry") \
+            and parts[-1] in MONOTONIC_TRACING_MODULES
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not self._applies(module):
+            return
+        imports = _import_map(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                names: List[str] = []
+                if isinstance(node, ast.Import):
+                    names = [alias.name.split(".")[0]
+                             for alias in node.names]
+                elif node.level == 0 and node.module:
+                    names = [node.module.split(".")[0]]
+                for name in names:
+                    if name == "datetime":
+                        yield self.finding(
+                            module, node,
+                            "datetime import in a tracing module: span "
+                            "and heartbeat timing must be monotonic")
+            elif isinstance(node, ast.Call):
+                origin = _resolve(node.func, imports)
+                if origin in _WALLCLOCK_TIME_FNS:
+                    yield self.finding(
+                        module, node,
+                        f"{origin}() in a tracing module: use "
+                        "time.monotonic/perf_counter so durations "
+                        "never depend on the host wallclock")
+
+
 class NoUnseededRandomRule(Rule):
     """Randomness in model/workload code must be explicitly seeded.
 
@@ -562,6 +624,7 @@ def default_rules() -> List[Rule]:
     """The full shipped rule set, cross-table checker included."""
     return [
         NoWallclockRule(),
+        MonotonicTimeRule(),
         NoUnseededRandomRule(),
         SortedSerializationRule(),
         NoBuiltinHashRule(),

@@ -56,6 +56,8 @@ from ..functional.simulator import FunctionalSimulator
 from ..isa.program import Program
 from ..metrics.stats import SimStats
 from ..redundancy.reusability import ReusabilityAnalyzer
+from ..telemetry.progress import PROGRESS_FILE, ProgressWriter
+from ..telemetry.spans import SpanRecorder, span_id, sweep_digest
 from ..uarch.config import MachineConfig
 from ..workloads import WorkloadSpec, all_workloads, get_workload
 from ..util.locking import FileLock, atomic_write_text
@@ -95,7 +97,8 @@ class ExperimentRunner:
                  manifests: bool = True,
                  manifest_dir: Optional[Path] = None,
                  telemetry_dir: Optional[Path] = None,
-                 telemetry_interval: Optional[int] = None):
+                 telemetry_interval: Optional[int] = None,
+                 tracing: Optional[bool] = None):
         self.max_instructions = max_instructions
         self.max_cycles = max_cycles
         self.cache_dir = Path(cache_dir) if cache_dir else None
@@ -119,6 +122,23 @@ class ExperimentRunner:
         # capturing telemetry never invalidates existing results.
         self.telemetry_dir = Path(telemetry_dir) if telemetry_dir else None
         self.telemetry_interval = telemetry_interval
+        # Sweep observability (repro.telemetry.spans / .progress):
+        # hierarchical sweep -> job -> phase spans plus the live
+        # progress protocol behind repro-top.  Defaults to on whenever a
+        # telemetry directory is given; pass ``tracing=False`` to
+        # capture interval series without spans (or ``tracing=True``
+        # without a telemetry_dir for in-memory spans only).  Both are
+        # observation-only: spans never enter cache keys and a traced
+        # sweep's cache/SimStats bytes are pinned identical to an
+        # untraced one (tests/experiments/test_tracing.py).
+        self.tracing = ((self.telemetry_dir is not None)
+                        if tracing is None else bool(tracing))
+        self._spans: Optional[SpanRecorder] = (
+            SpanRecorder() if self.tracing else None)
+        self._progress: Optional[ProgressWriter] = (
+            ProgressWriter(self.telemetry_dir / PROGRESS_FILE)
+            if self.tracing and self.telemetry_dir is not None else None)
+        self._traced_hits: set = set()
         # Warm-state checkpoints (repro.functional.checkpoint): every
         # configuration of a workload shares one warm-up.  The store
         # defaults to a subdirectory of the result cache so sweeps from
@@ -143,19 +163,71 @@ class ExperimentRunner:
         key = self._key(spec, config)
         cached = self._load(key)
         if cached is not None:
+            self._trace_cache_hit(key, workload, config)
             return cached
         with self._lock(key):
             # Another process may have produced the entry while we waited.
             cached = self._load(key)
             if cached is not None:
+                self._trace_cache_hit(key, workload, config)
                 return cached
-            started = time.perf_counter()
+            stats = self._traced_job(key, spec, workload, config)
+        return stats
+
+    def _traced_job(self, key: str, spec: WorkloadSpec, workload: str,
+                    config: MachineConfig) -> SimStats:
+        """One uncached cell: job span (with rusage accounting) around
+        simulate + store, progress records at the edges."""
+        name = f"{workload}/{config.name}"
+        self._traced_hits.add(key)
+        if self._progress is not None:
+            self._progress.job_start(key, workload, config.name)
+        if self._spans is not None:
+            measure = self._spans.measure("job", key, name, rusage=True)
+        else:
+            measure = contextlib.nullcontext({})
+        started = time.perf_counter()
+        with measure as attrs:
             stats = self._simulate(spec, workload, config, key=key)
             elapsed = time.perf_counter() - started
-            self._store(key, stats)
-            self._write_run_manifest(key, spec, workload, config, stats,
-                                     cache_hit=False, wallclock=elapsed)
+            if self._spans is not None:
+                write_phase = self._spans.measure(
+                    "phase", key, "cache-write",
+                    parent=span_id("job", key))
+            else:
+                write_phase = contextlib.nullcontext({})
+            with write_phase:
+                self._store(key, stats)
+                self._write_run_manifest(key, spec, workload, config,
+                                         stats, cache_hit=False,
+                                         wallclock=elapsed)
+            attrs.update({
+                "workload": workload,
+                "config": config.name,
+                "cache_hit": False,
+                "committed": stats.committed,
+                "cycles": stats.cycles,
+                "wall_s": round(elapsed, 6),
+            })
+        if self._progress is not None:
+            self._progress.job_done(key, elapsed, stats.committed)
         return stats
+
+    def _trace_cache_hit(self, key: str, workload: str,
+                         config: MachineConfig) -> None:
+        """Record a cache-served cell, once per key per runner (both
+        the span dedup and the progress counters see each cell once,
+        however many experiments ask for it)."""
+        if not self.tracing or key in self._traced_hits:
+            return
+        self._traced_hits.add(key)
+        if self._spans is not None:
+            self._spans.point(
+                "job", key, f"{workload}/{config.name}",
+                attrs={"workload": workload, "config": config.name,
+                       "cache_hit": True})
+        if self._progress is not None:
+            self._progress.cache_hit(key)
 
     def run_many(self, pairs: Iterable[Pair],
                  jobs: Optional[int] = None
@@ -186,6 +258,15 @@ class ExperimentRunner:
             else:
                 pending.append((key, workload, config))
 
+        if self._progress is not None and unique:
+            self._progress.sweep_start(
+                total=len(unique), cached=len(cached_keys),
+                pending=len(pending),
+                jobs=1 if len(pending) <= 1 else min(jobs, len(pending)))
+        for key in cached_keys:
+            workload, config = unique[key]
+            self._trace_cache_hit(key, workload, config)
+
         if len(pending) <= 1 or jobs <= 1:
             for _, workload, config in pending:
                 results[(workload, config.name)] = self.run(workload, config)
@@ -208,6 +289,7 @@ class ExperimentRunner:
             "manifest_dir": self.manifest_dir,
             "telemetry_dir": self.telemetry_dir,
             "telemetry_interval": self.telemetry_interval,
+            "tracing": self.tracing,
         }
         total, done = len(pending), 0
         started = time.perf_counter()
@@ -215,11 +297,16 @@ class ExperimentRunner:
                       initializer=_worker_init,
                       initargs=(settings,)) as pool:
             tasks = [(workload, config) for _, workload, config in pending]
-            for workload, cname, payload, elapsed in \
+            for workload, cname, payload, elapsed, spans in \
                     pool.imap_unordered(_worker_run, tasks):
                 done += 1
                 stats = SimStats.from_dict(payload)
                 results[(workload, cname)] = stats
+                # Spans ride the existing result channel: the worker
+                # drains its recorder per task, the parent adopts them
+                # under the sweep span in _finish_sweep.
+                if self._spans is not None:
+                    self._spans.extend(spans)
                 if not self.quiet:
                     print(f"[run {done}/{total}] {workload} / {cname} "
                           f"({stats.committed} insts, {elapsed:.1f}s)",
@@ -228,8 +315,12 @@ class ExperimentRunner:
             print(f"[run] {total} simulations on {min(jobs, total)} workers "
                   f"in {time.perf_counter() - started:.1f}s", flush=True)
         # Adopt the children's results into this process's memory cache.
+        # The keys count as traced too: a worker already recorded the
+        # job span and progress for them, so a later cache-served
+        # lookup must not count the cell again.
         for key, workload, config in pending:
             self._memory_cache[key] = results[(workload, config.name)]
+            self._traced_hits.add(key)
         self._finish_sweep(unique, results, cached_keys,
                            simulated=len(pending),
                            jobs=min(jobs, total), started=sweep_started)
@@ -239,13 +330,26 @@ class ExperimentRunner:
                       results: Dict[Tuple[str, str], SimStats],
                       cached_keys: List[str], simulated: int, jobs: int,
                       started: float) -> None:
-        """Manifest bookkeeping at the end of one :meth:`run_many`.
+        """Tracing + manifest bookkeeping at the end of one
+        :meth:`run_many`.
 
-        Backfills ``cache_hit=True`` run manifests for pairs that were
-        served from a cache populated before manifests existed, then
-        writes the sweep manifest.  No-op without a manifest directory.
+        Closes the sweep span (adopting every job/phase span recorded
+        this sweep, locally or in workers), writes ``spans.jsonl`` and
+        the ``sweep_done`` progress record, then backfills
+        ``cache_hit=True`` run manifests for pairs that were served
+        from a cache populated before manifests existed and writes the
+        sweep manifest.  Manifest steps are a no-op without a manifest
+        directory.
         """
-        if self.manifest_dir is None or not unique:
+        if not unique:
+            return
+        if self._spans is not None:
+            self._finish_tracing(unique, simulated, jobs, started)
+        if self._progress is not None:
+            self._progress.sweep_done(
+                total=len(unique), simulated=simulated,
+                wall_s=time.perf_counter() - started)
+        if self.manifest_dir is None:
             return
         from ..telemetry.manifest import sweep_manifest, write_manifest
         for key in cached_keys:
@@ -265,6 +369,28 @@ class ExperimentRunner:
         write_manifest(
             self.manifest_dir / f"sweep-{manifest['sweep_digest']}.json",
             manifest)
+
+    def _finish_tracing(self, unique: Dict[str, Pair], simulated: int,
+                        jobs: int, started: float) -> None:
+        """Close one sweep's trace: record the sweep span, adopt every
+        orphan job/phase record under it, export ``spans.jsonl``.
+
+        The recorder accumulates across :meth:`run_many` calls (e.g.
+        ``repro-experiment all`` runs several sweeps) and the export is
+        a full atomic rewrite, so the file always holds every span of
+        the process so far.
+        """
+        digest = sweep_digest(list(unique))
+        sid = span_id("sweep", digest)
+        record = self._spans.point(
+            "sweep", digest, "run_many", trace=sid,
+            attrs={"total": len(unique), "simulated": simulated,
+                   "cached": len(unique) - simulated, "jobs": jobs})
+        record["t_start"] = self._spans.rel(started)
+        record["duration_s"] = round(time.perf_counter() - started, 6)
+        self._spans.adopt(trace=sid, parent=sid)
+        if self.telemetry_dir is not None:
+            self._spans.write(self.telemetry_dir / "spans.jsonl")
 
     def _write_run_manifest(self, key: str, spec: WorkloadSpec,
                             workload: str, config: MachineConfig,
@@ -313,7 +439,17 @@ class ExperimentRunner:
                   f"({self.max_instructions} insts)", flush=True)
         if self.verify:
             config = dataclasses.replace(config, verify_commits=True)
-        program = self._program(spec)
+
+        # Phase spans nest under the job span via its content-derived
+        # id — no recorder plumbing between run() and here is needed.
+        def phase(name: str):
+            if self._spans is None or key is None:
+                return contextlib.nullcontext({})
+            return self._spans.measure("phase", key, name,
+                                       parent=span_id("job", key))
+
+        with phase("decode"):
+            program = self._program(spec)
         core = OutOfOrderCore(config, program)
         # Set the workload name up front so the telemetry context block
         # sees it; the statistics are identical either way.
@@ -324,13 +460,26 @@ class ExperimentRunner:
             # interactive runs (repro-sim --trace-out), not bulk sweeps.
             sink = core.enable_telemetry(
                 interval=self.telemetry_interval, events=False)
-        if self.checkpoints is not None:
-            core.restore_warm(
-                self.checkpoints.get(program, spec.skip_instructions))
-        else:
-            core.skip(spec.skip_instructions)
-        stats = core.run(max_cycles=self.max_cycles,
-                         max_instructions=self.max_instructions)
+            if self._progress is not None and key is not None:
+                # Throttled mid-simulation heartbeats so a long cell
+                # stays visibly alive in repro-top.
+                sink.on_sample = (
+                    lambda cycle, committed: self._progress.heartbeat(
+                        current=key, cycles=cycle, committed=committed))
+        with phase("warm-restore") as warm_attrs:
+            if self.checkpoints is not None:
+                core.restore_warm(
+                    self.checkpoints.get(program, spec.skip_instructions))
+                warm_attrs["checkpoint"] = \
+                    self.checkpoints.last_source or "disabled"
+                if self._progress is not None:
+                    self._progress.checkpoint(self.checkpoints.last_source)
+            else:
+                core.skip(spec.skip_instructions)
+                warm_attrs["checkpoint"] = "disabled"
+        with phase("simulate"):
+            stats = core.run(max_cycles=self.max_cycles,
+                             max_instructions=self.max_instructions)
         if sink is not None:
             if key is not None:
                 sink.series.context["cache_key"] = key
@@ -444,12 +593,17 @@ def _worker_init(settings: Dict) -> None:
     _WORKER_RUNNER = ExperimentRunner(**settings)
 
 
-def _worker_run(pair: Pair) -> Tuple[str, str, Dict, float]:
+def _worker_run(pair: Pair) -> Tuple[str, str, Dict, float, List[Dict]]:
     workload, config = pair
     started = time.perf_counter()
     stats = _WORKER_RUNNER.run(workload, config)
+    # Span records ride the result channel back to the parent, which
+    # adopts them under its sweep span; draining per task keeps the
+    # payload proportional to the work just done.
+    spans = (_WORKER_RUNNER._spans.drain()
+             if _WORKER_RUNNER._spans is not None else [])
     return workload, config.name, stats.as_dict(), \
-        time.perf_counter() - started
+        time.perf_counter() - started, spans
 
 
 def default_runner(**overrides) -> ExperimentRunner:

@@ -11,7 +11,13 @@ never changes a statistic):
   records from the core's dispatch/issue/complete/commit, VP and reuse
   paths, with a filterable ``repro-trace`` CLI;
 * :mod:`repro.telemetry.manifest` — per-run and per-sweep provenance
-  manifests written by the experiment harness.
+  manifests written by the experiment harness;
+* :mod:`repro.telemetry.spans` — hierarchical sweep → job → phase span
+  tracing with per-job resource accounting (canonical JSONL,
+  content-derived span ids);
+* :mod:`repro.telemetry.progress` — the live sweep progress protocol
+  (``progress.jsonl`` heartbeats) behind the ``repro-top`` CLI and
+  ``repro-report --live``.
 
 Attach with ``core.enable_telemetry()`` (see
 :class:`~repro.telemetry.sink.TelemetrySink`) or the ``repro-sim
@@ -41,10 +47,32 @@ from .manifest import (
     sweep_manifest,
     write_manifest,
 )
+from .progress import (
+    PROGRESS_FORMAT,
+    ProgressWriter,
+    SweepSnapshot,
+    read_progress,
+)
 from .sink import TelemetrySink
+from .spans import (
+    SPAN_FORMAT,
+    SpanRecorder,
+    load_spans,
+    span_id,
+    sweep_digest,
+)
 
 __all__ = [
     "TelemetrySink",
+    "SpanRecorder",
+    "SPAN_FORMAT",
+    "span_id",
+    "sweep_digest",
+    "load_spans",
+    "ProgressWriter",
+    "PROGRESS_FORMAT",
+    "SweepSnapshot",
+    "read_progress",
     "TraceEvent",
     "EventTrace",
     "EVENT_KINDS",

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional
 from ..backend import get_backend
 from ..util.locking import atomic_write_text
 from ..util.serial import canonical_dumps
+from .spans import span_id
 
 MANIFEST_FORMAT = "repro-manifest-v1"
 
@@ -129,6 +130,10 @@ def run_manifest(*, cache_key: str, workload: str, config,
         "format": MANIFEST_FORMAT,
         "kind": "run",
         "cache_key": cache_key,
+        # The job span of a traced sweep that (re)produced this result.
+        # Content-derived from the cache key (repro.telemetry.spans), so
+        # it is present and stable whether or not tracing was on.
+        "span_id": span_id("job", cache_key),
         "workload": workload,
         "config_name": config.name,
         "config_digest": config_digest(config),
@@ -165,6 +170,8 @@ def sweep_manifest(*, run_keys: List[str], simulated: int, cached: int,
         "format": MANIFEST_FORMAT,
         "kind": "sweep",
         "sweep_digest": digest,
+        # The sweep span (= trace id) of a traced run_many invocation.
+        "span_id": span_id("sweep", digest),
         "runs": sorted(run_keys),
         "total_runs": len(run_keys),
         "simulated": simulated,

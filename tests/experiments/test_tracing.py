@@ -1,0 +1,198 @@
+"""Acceptance tests for sweep observability (spans + progress).
+
+The observatory must satisfy two contracts at once:
+
+* a traced ``jobs=2`` sweep covers every cell with a properly nested
+  sweep -> job -> phase span tree whose ids round-trip through the run
+  manifests, plus a progress stream a tailing ``repro-top`` can render;
+* observation changes nothing — the result cache and ``SimStats`` of a
+  traced sweep are byte-identical to an untraced one, span identity
+  lines are byte-stable across runs, and an untraced runner writes no
+  span or progress files at all.
+"""
+
+from repro.experiments import ExperimentRunner
+from repro.experiments.configs import BASE, IR_EARLY
+from repro.telemetry import load_manifests
+from repro.telemetry.progress import (
+    PROGRESS_FILE,
+    SweepSnapshot,
+    read_progress,
+    render_snapshot,
+)
+from repro.telemetry.spans import (
+    identity_lines,
+    load_spans,
+    span_id,
+    sweep_digest,
+)
+from repro.workloads import get_workload
+
+INSTRUCTIONS = 1_000
+MAX_CYCLES = 60_000
+
+PAIRS = [("m88ksim", BASE), ("m88ksim", IR_EARLY), ("compress", BASE)]
+
+
+def make_runner(cache_dir, **overrides):
+    settings = {"max_instructions": INSTRUCTIONS, "max_cycles": MAX_CYCLES,
+                "cache_dir": cache_dir, "quiet": True,
+                "telemetry_dir": cache_dir / "telemetry"}
+    settings.update(overrides)
+    return ExperimentRunner(**settings)
+
+
+def run_keys(runner):
+    return {runner._key(get_workload(w), c): (w, c.name)
+            for w, c in PAIRS}
+
+
+def spans_by_kind(records):
+    by_kind = {"sweep": [], "job": [], "phase": []}
+    for record in records:
+        by_kind[record["kind"]].append(record)
+    return by_kind
+
+
+class TestSpanTree:
+    def test_parallel_sweep_covers_every_cell(self, tmp_path):
+        runner = make_runner(tmp_path, jobs=2)
+        runner.run_many(PAIRS)
+        records = load_spans(tmp_path / "telemetry" / "spans.jsonl")
+        by_kind = spans_by_kind(records)
+        keys = run_keys(runner)
+
+        [sweep] = by_kind["sweep"]
+        assert sweep["key"] == sweep_digest(list(keys))
+        assert sweep["span"] == sweep["trace"] \
+            == span_id("sweep", sweep["key"])
+        assert sweep["attrs"]["total"] == len(PAIRS)
+        assert sweep["attrs"]["simulated"] == len(PAIRS)
+        assert sweep["duration_s"] > 0
+
+        assert {j["key"] for j in by_kind["job"]} == set(keys)
+        for job in by_kind["job"]:
+            assert job["span"] == span_id("job", job["key"])
+            assert job["parent"] == sweep["span"]
+            assert job["trace"] == sweep["trace"]
+            assert job["attrs"]["cache_hit"] is False
+            assert job["attrs"]["committed"] >= INSTRUCTIONS
+            # Resource accounting rides on simulated job spans.
+            assert job["attrs"]["rss_peak_kb"] > 0
+            assert job["attrs"]["cpu_user_s"] >= 0
+
+        for key in keys:
+            names = sorted(p["name"] for p in by_kind["phase"]
+                           if p["key"] == key)
+            assert names == ["cache-write", "decode", "simulate",
+                             "warm-restore"]
+        for phase in by_kind["phase"]:
+            assert phase["parent"] == span_id("job", phase["key"])
+            assert phase["trace"] == sweep["trace"]
+
+    def test_cache_served_sweep_emits_hit_points(self, tmp_path):
+        make_runner(tmp_path, jobs=2).run_many(PAIRS)
+        hit_dir = tmp_path / "hit"
+        runner = make_runner(tmp_path, jobs=2,
+                             telemetry_dir=hit_dir).run_many(PAIRS)
+        records = load_spans(hit_dir / "spans.jsonl")
+        by_kind = spans_by_kind(records)
+        assert by_kind["phase"] == []  # nothing simulated
+        assert by_kind["sweep"][0]["attrs"]["simulated"] == 0
+        assert len(by_kind["job"]) == len(PAIRS)
+        for job in by_kind["job"]:
+            assert job["attrs"]["cache_hit"] is True
+            assert job["duration_s"] == 0.0
+
+    def test_manifest_span_ids_round_trip(self, tmp_path):
+        make_runner(tmp_path, jobs=2).run_many(PAIRS)
+        records = load_spans(tmp_path / "telemetry" / "spans.jsonl")
+        spans = {r["span"] for r in records}
+        manifests = load_manifests(tmp_path / "manifests")
+        assert manifests
+        for manifest in manifests:
+            # Every manifest names the span of the work it describes,
+            # derived from content — so it appears in the span file.
+            assert manifest["span_id"] in spans
+            if manifest["kind"] == "run":
+                assert manifest["span_id"] == span_id(
+                    "job", manifest["cache_key"])
+            else:
+                assert manifest["span_id"] == span_id(
+                    "sweep", manifest["sweep_digest"])
+
+
+class TestProgressStream:
+    def test_traced_sweep_streams_progress(self, tmp_path):
+        make_runner(tmp_path, jobs=2).run_many(PAIRS)
+        records = read_progress(tmp_path / "telemetry" / PROGRESS_FILE)
+        kinds = [r["kind"] for r in records]
+        assert kinds[0] == "sweep_start"
+        assert kinds[-1] == "sweep_done"
+        assert kinds.count("job_start") == len(PAIRS)
+        assert kinds.count("job_done") == len(PAIRS)
+        snap = SweepSnapshot.from_records(records)
+        assert snap.done == snap.total == len(PAIRS)
+        assert snap.finished is not None
+        assert f"{len(PAIRS)}/{len(PAIRS)} cells" in \
+            render_snapshot(snap)
+
+    def test_repro_top_once_exits_zero(self, tmp_path, capsys):
+        from repro.telemetry.progress import main as top_main
+        make_runner(tmp_path, jobs=2).run_many(PAIRS)
+        assert top_main([str(tmp_path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert f"{len(PAIRS)}/{len(PAIRS)} cells" in out
+
+    def test_report_renders_phase_breakdown(self, tmp_path, capsys):
+        from repro.metrics.report import telemetry_dashboard
+        make_runner(tmp_path, jobs=2).run_many(PAIRS)
+        reports = telemetry_dashboard(tmp_path)
+        rendered = "\n".join(r.render() for r in reports)
+        assert "Where did the time go" in rendered
+        assert "simulate" in rendered
+        assert "Per-cell resources" in rendered
+
+
+def cache_bytes(cache_dir):
+    return {p.name: p.read_bytes()
+            for p in cache_dir.glob("*.json")}
+
+
+class TestObservationOnly:
+    def test_traced_cache_bytes_identical_to_untraced(self, tmp_path):
+        traced_dir = tmp_path / "traced"
+        plain_dir = tmp_path / "plain"
+        traced = make_runner(traced_dir, jobs=2).run_many(PAIRS)
+        plain = make_runner(plain_dir, jobs=2, telemetry_dir=None,
+                            manifests=False).run_many(PAIRS)
+        assert cache_bytes(traced_dir) == cache_bytes(plain_dir)
+        for pair_key, stats in traced.items():
+            assert stats.as_dict() == plain[pair_key].as_dict()
+
+    def test_identity_lines_byte_stable_across_runs(self, tmp_path):
+        texts = []
+        for run in ("a", "b"):
+            cache = tmp_path / run
+            make_runner(cache, jobs=2).run_many(PAIRS)
+            spans = load_spans(cache / "telemetry" / "spans.jsonl")
+            texts.append(identity_lines(spans))
+        assert texts[0] == texts[1]
+
+    def test_tracing_off_writes_nothing(self, tmp_path):
+        runner = make_runner(tmp_path, jobs=2, telemetry_dir=None)
+        assert runner.tracing is False
+        runner.run_many(PAIRS)
+        assert not list(tmp_path.rglob("spans.jsonl"))
+        assert not list(tmp_path.rglob(PROGRESS_FILE))
+
+    def test_tracing_opt_out_with_telemetry_dir(self, tmp_path):
+        telemetry = tmp_path / "telemetry"
+        runner = make_runner(tmp_path, jobs=2, tracing=False,
+                             telemetry_interval=200)
+        assert runner.tracing is False
+        runner.run_many(PAIRS)
+        # Interval series still captured; no spans or progress.
+        assert list(telemetry.glob("*.jsonl"))
+        assert not (telemetry / "spans.jsonl").exists()
+        assert not (telemetry / PROGRESS_FILE).exists()

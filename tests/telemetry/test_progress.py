@@ -1,0 +1,165 @@
+"""Unit tests for the live-progress protocol (repro.telemetry.progress).
+
+Covers the writer (atomic line appends, counter bookkeeping, heartbeat
+throttling), the reader (torn/foreign line tolerance), the snapshot
+fold (per-worker state, ETA) and the ``repro-top`` entry point.
+"""
+
+import json
+
+from repro.telemetry.progress import (
+    PROGRESS_FILE,
+    PROGRESS_FORMAT,
+    ProgressWriter,
+    SweepSnapshot,
+    follow,
+    main,
+    progress_path,
+    read_progress,
+    render_snapshot,
+)
+
+KEY = "v4-compress-base-i1000-c60000-abcdef123456"
+
+
+def make_writer(tmp_path, **kwargs):
+    return ProgressWriter(tmp_path / PROGRESS_FILE, **kwargs)
+
+
+class TestWriter:
+    def test_records_are_single_canonical_lines(self, tmp_path):
+        writer = make_writer(tmp_path)
+        writer.sweep_start(total=3, cached=1, pending=2, jobs=2)
+        writer.sweep_done(total=3, simulated=2, wall_s=1.23456)
+        lines = writer.path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            record = json.loads(line)
+            assert record["format"] == PROGRESS_FORMAT
+            assert record["pid"] == writer.pid
+            assert isinstance(record["t_mono"], float)
+        assert json.loads(lines[1])["wall_s"] == 1.235
+
+    def test_job_lifecycle_counters(self, tmp_path):
+        writer = make_writer(tmp_path)
+        writer.job_start(KEY, workload="compress", config="base")
+        assert writer.current == KEY and writer.cache_misses == 1
+        writer.checkpoint("captured")
+        writer.job_done(KEY, elapsed_s=0.5, committed=1000)
+        writer.cache_hit(KEY + "2")
+        writer.checkpoint("memo")
+        writer.checkpoint("disk")
+        writer.checkpoint("disabled")  # not a checkpoint event
+        assert writer.current is None
+        assert writer.done == 2  # one simulated + one cache hit
+        assert writer.cache_hits == 1
+        assert writer.checkpoint_hits == 2
+        assert writer.checkpoint_misses == 1
+        kinds = [r["kind"] for r in read_progress(writer.path)]
+        assert kinds == ["job_start", "heartbeat", "job_done",
+                         "heartbeat", "heartbeat"]
+
+    def test_in_simulation_heartbeats_throttled(self, tmp_path):
+        writer = make_writer(tmp_path, heartbeat_min_seconds=3600)
+        writer.heartbeat(current=KEY, cycles=100, committed=10)
+        for cycle in range(200, 1000, 100):  # all inside the window
+            writer.heartbeat(current=KEY, cycles=cycle)
+        beats = [r for r in read_progress(writer.path)
+                 if r["kind"] == "heartbeat"]
+        assert len(beats) == 1
+        assert beats[0]["cycles"] == 100 and beats[0]["committed"] == 10
+
+    def test_boundary_heartbeats_bypass_throttle(self, tmp_path):
+        writer = make_writer(tmp_path, heartbeat_min_seconds=3600)
+        writer.cache_hit("a")
+        writer.cache_hit("b")
+        beats = [r for r in read_progress(writer.path)
+                 if r["kind"] == "heartbeat"]
+        assert [b["done"] for b in beats] == [1, 2]
+
+
+class TestReader:
+    def test_tolerates_torn_tail_and_foreign_lines(self, tmp_path):
+        writer = make_writer(tmp_path)
+        writer.sweep_start(total=1, cached=0, pending=1, jobs=1)
+        with open(writer.path, "a") as handle:
+            handle.write("not json\n")
+            handle.write('{"format": "other-protocol"}\n')
+            handle.write('{"format": "repro-progress-v1", "kind": "hea')
+        records = read_progress(writer.path)
+        assert [r["kind"] for r in records] == ["sweep_start"]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_progress(tmp_path / "absent.jsonl") == []
+
+
+class TestSnapshot:
+    def _traced_sweep(self, tmp_path):
+        writer = make_writer(tmp_path)
+        writer.sweep_start(total=4, cached=1, pending=3, jobs=2)
+        writer.cache_hit("k0")
+        writer.job_start("k1", workload="compress", config="base")
+        writer.job_done("k1", elapsed_s=0.2, committed=1000)
+        return writer
+
+    def test_folds_per_worker_counters(self, tmp_path):
+        writer = self._traced_sweep(tmp_path)
+        snap = SweepSnapshot.from_records(read_progress(writer.path))
+        assert snap.total == 4 and snap.cached == 1 and snap.jobs == 2
+        assert snap.done == 2
+        worker = snap.workers[writer.pid]
+        assert worker["cache_hits"] == 1
+        assert worker["current"] is None  # job_done clears it
+        assert snap.finished is None
+        assert snap.eta() is not None and snap.eta() >= 0
+
+    def test_only_the_last_sweep_counts(self, tmp_path):
+        writer = self._traced_sweep(tmp_path)
+        writer.sweep_done(total=4, simulated=3, wall_s=1.0)
+        writer.sweep_start(total=2, cached=2, pending=0, jobs=1)
+        snap = SweepSnapshot.from_records(read_progress(writer.path))
+        assert snap.total == 2 and snap.done == 0
+        assert snap.finished is None and snap.eta() is None
+
+    def test_finished_sweep_has_no_eta(self, tmp_path):
+        writer = self._traced_sweep(tmp_path)
+        writer.sweep_done(total=4, simulated=3, wall_s=1.0)
+        snap = SweepSnapshot.from_records(read_progress(writer.path))
+        assert snap.finished is not None
+        assert snap.eta() is None
+
+    def test_render_lists_workers(self, tmp_path):
+        writer = self._traced_sweep(tmp_path)
+        text = render_snapshot(
+            SweepSnapshot.from_records(read_progress(writer.path)))
+        assert "2/4 cells" in text
+        assert "(1 pre-cached)" in text
+        assert str(writer.pid) in text
+
+    def test_render_empty(self):
+        assert "no sweep progress" in render_snapshot(SweepSnapshot())
+
+
+class TestCli:
+    def test_progress_path_resolves_directories(self, tmp_path):
+        nested = tmp_path / "telemetry" / PROGRESS_FILE
+        nested.parent.mkdir()
+        nested.write_text("")
+        assert progress_path(tmp_path) == nested  # result-cache dir
+        assert progress_path(nested.parent) == nested
+        assert progress_path(nested) == nested
+
+    def test_main_once_renders_snapshot(self, tmp_path, capsys):
+        writer = make_writer(tmp_path)
+        writer.sweep_start(total=1, cached=0, pending=1, jobs=1)
+        assert main([str(tmp_path), "--once"]) == 0
+        assert "0/1 cells" in capsys.readouterr().out
+
+    def test_follow_exits_when_sweep_done(self, tmp_path):
+        writer = make_writer(tmp_path)
+        writer.sweep_start(total=1, cached=1, pending=0, jobs=1)
+        writer.sweep_done(total=1, simulated=0, wall_s=0.1)
+        shown = []
+        assert follow(writer.path, interval=0.01, clear=False,
+                      out=shown.append) == 0
+        assert shown and "[done in 0.1s]" in shown[-1]

@@ -1,0 +1,173 @@
+"""Unit tests for the hierarchical span tracer (repro.telemetry.spans).
+
+Pins the identity contract — span ids derive from content alone, so the
+same cell always yields the same id — and the canonical JSONL shape:
+header + sorted records, byte-stable across recorders once timing
+fields are stripped (:func:`identity_lines`).
+"""
+
+import json
+import re
+
+import pytest
+
+from repro.telemetry.spans import (
+    PHASE_ORDER,
+    SPAN_FORMAT,
+    TIMING_ATTRS,
+    TIMING_FIELDS,
+    SpanRecorder,
+    dumps,
+    identity_lines,
+    load_spans,
+    span_id,
+    sweep_digest,
+)
+
+KEY = "v4-compress-base-i1000-c60000-abcdef123456"
+
+
+class TestSpanId:
+    def test_deterministic_16_hex(self):
+        sid = span_id("job", KEY)
+        assert re.fullmatch(r"[0-9a-f]{16}", sid)
+        assert sid == span_id("job", KEY)
+
+    def test_kind_key_and_name_all_discriminate(self):
+        ids = {span_id("job", KEY), span_id("sweep", KEY),
+               span_id("phase", KEY, "decode"),
+               span_id("phase", KEY, "simulate"),
+               span_id("job", KEY + "x")}
+        assert len(ids) == 5
+
+    def test_job_id_ignores_display_name(self):
+        # Manifests derive the job span id from the cache key alone.
+        assert span_id("job", KEY) == span_id("job", KEY, "")
+
+    def test_sweep_digest_order_independent(self):
+        keys = ["k-b", "k-a", "k-c"]
+        digest = sweep_digest(keys)
+        assert digest == sweep_digest(sorted(keys, reverse=True))
+        assert re.fullmatch(r"[0-9a-f]{12}", digest)
+
+
+class TestRecorder:
+    def test_measure_records_timing_and_nesting(self):
+        recorder = SpanRecorder()
+        job_sid = span_id("job", KEY)
+        with recorder.measure("job", KEY, "compress/base") as attrs:
+            with recorder.measure("phase", KEY, "simulate",
+                                  parent=job_sid):
+                pass
+            attrs["cycles"] = 42
+        job, = [r for r in recorder.records if r["kind"] == "job"]
+        phase, = [r for r in recorder.records if r["kind"] == "phase"]
+        assert job["span"] == job_sid
+        assert phase["parent"] == job_sid
+        assert job["attrs"]["cycles"] == 42
+        assert job["duration_s"] >= phase["duration_s"] >= 0
+        assert phase["t_start"] >= job["t_start"] >= 0
+
+    def test_rusage_attrs_on_job_spans(self):
+        recorder = SpanRecorder()
+        with recorder.measure("job", KEY, "cell", rusage=True):
+            sum(range(10_000))
+        attrs = recorder.records[0]["attrs"]
+        assert attrs["rss_peak_kb"] > 0
+        assert attrs["cpu_user_s"] >= 0
+        assert attrs["cpu_sys_s"] >= 0
+        assert isinstance(attrs["host"], str)
+
+    def test_duplicate_span_ids_collapse(self):
+        recorder = SpanRecorder()
+        assert recorder.point("job", KEY, "hit") is not None
+        recorder.point("job", KEY, "hit")
+        recorder.point("job", KEY, "other-name")  # same id: empty name
+        assert len(recorder.records) == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown span kind"):
+            SpanRecorder().point("cell", KEY, "x")
+
+    def test_adopt_fills_trace_and_reparents_jobs(self):
+        recorder = SpanRecorder()
+        recorder.point("job", KEY, "cell")
+        recorder.point("phase", KEY, "simulate",
+                       parent=span_id("job", KEY))
+        recorder.adopt(trace="t1", parent="sweep-span")
+        job, phase = recorder.records
+        assert job["trace"] == phase["trace"] == "t1"
+        assert job["parent"] == "sweep-span"
+        assert phase["parent"] == span_id("job", KEY)  # untouched
+
+    def test_drain_clears_records_and_dedup_state(self):
+        recorder = SpanRecorder()
+        recorder.point("job", KEY, "cell")
+        drained = recorder.drain()
+        assert len(drained) == 1 and recorder.records == []
+        assert recorder.point("job", KEY, "cell") is not None
+        assert len(recorder.records) == 1
+
+
+def _sample_records(recorder):
+    sid = span_id("job", KEY)
+    with recorder.measure("job", KEY, "compress/base", trace="t",
+                          rusage=True):
+        for name in PHASE_ORDER:
+            with recorder.measure("phase", KEY, name, parent=sid,
+                                  trace="t"):
+                pass
+    return recorder.records
+
+
+class TestSerialization:
+    def test_write_load_round_trip(self, tmp_path):
+        recorder = SpanRecorder()
+        _sample_records(recorder)
+        out = tmp_path / "spans.jsonl"
+        recorder.write(out)
+        loaded = load_spans(out)
+        assert loaded == sorted(recorder.records,
+                                key=lambda r: (r["kind"] != "job",
+                                               PHASE_ORDER.index(
+                                                   r["name"])
+                                               if r["kind"] == "phase"
+                                               else -1))
+
+    def test_header_line_is_canonical(self, tmp_path):
+        recorder = SpanRecorder()
+        recorder.point("sweep", "d1", "run_many", trace="d1")
+        recorder.write(tmp_path / "spans.jsonl")
+        first = (tmp_path / "spans.jsonl").read_text().splitlines()[0]
+        assert json.loads(first) == {"format": SPAN_FORMAT,
+                                     "records": 1}
+
+    def test_load_rejects_foreign_files(self, tmp_path):
+        bad = tmp_path / "not-spans.jsonl"
+        bad.write_text('{"format": "something-else"}\n')
+        with pytest.raises(ValueError, match=SPAN_FORMAT):
+            load_spans(bad)
+        (tmp_path / "empty").write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_spans(tmp_path / "empty")
+
+    def test_dumps_sorted_independent_of_insertion_order(self):
+        a, b = SpanRecorder(), SpanRecorder()
+        _sample_records(a)
+        b.extend(list(reversed(_sample_records(SpanRecorder()))))
+        assert identity_lines(a.records) == identity_lines(b.records)
+
+    def test_identity_lines_byte_stable_across_recorders(self):
+        """The span analogue of the cache-bytes contract: two traced
+        runs over the same content differ only in timing fields."""
+        a = identity_lines(_sample_records(SpanRecorder()))
+        b = identity_lines(_sample_records(SpanRecorder()))
+        assert a == b
+        for field in TIMING_FIELDS:
+            assert f'"{field}"' not in a
+        for attr in TIMING_ATTRS:
+            assert f'"{attr}"' not in a
+
+    def test_dumps_keeps_timing(self):
+        text = dumps(_sample_records(SpanRecorder()))
+        assert '"duration_s"' in text and '"t_start"' in text
