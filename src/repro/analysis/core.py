@@ -66,9 +66,19 @@ class Finding:
         }
 
 
-_WAIVE_RE = re.compile(
-    r"#\s*repro-lint:\s*(waive|waive-file)\[([A-Za-z0-9_-]+)\]"
-    r"(?:\s*--\s*(.*\S))?")
+#: Comment tag of the per-file tier.  The flow tier reuses the same
+#: grammar under its own tag, so each tier only sees — and only
+#: reports hygiene findings for — its own exemption comments.
+DEFAULT_WAIVER_TAG = "repro-lint"
+
+
+def _waive_re(tag: str) -> "re.Pattern[str]":
+    return re.compile(
+        rf"#\s*{re.escape(tag)}:\s*(waive|waive-file)\[([A-Za-z0-9_-]+)\]"
+        r"(?:\s*--\s*(.*\S))?")
+
+
+_WAIVE_RES: Dict[str, "re.Pattern[str]"] = {}
 
 
 @dataclass
@@ -100,8 +110,19 @@ class Waivers:
                     yield line, rule
 
 
-def parse_waivers(source: str) -> Waivers:
-    """Extract waiver comments from *source* (tokenize-accurate)."""
+def parse_waivers(source: str, tag: str = DEFAULT_WAIVER_TAG) -> Waivers:
+    """Extract *tag*-prefixed waiver comments from *source*
+    (tokenize-accurate).
+
+    For the default ``repro-lint`` tag any comment mentioning the tag
+    that fails the grammar is an error; for other tags only comments
+    that look like waivers (mention both the tag and ``waive``) are,
+    because those tags may carry further comment roles of their own
+    (the flow tier's ``sanitizer``/``guard``/``sink`` annotations).
+    """
+    if tag not in _WAIVE_RES:
+        _WAIVE_RES[tag] = _waive_re(tag)
+    waive_re = _WAIVE_RES[tag]
     waivers = Waivers()
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
@@ -110,11 +131,13 @@ def parse_waivers(source: str) -> Waivers:
     for token in tokens:
         if token.type != tokenize.COMMENT:
             continue
-        match = _WAIVE_RE.search(token.string)
+        match = waive_re.search(token.string)
         if match is None:
-            if "repro-lint" in token.string:
+            mentioned = tag in token.string and (
+                tag == DEFAULT_WAIVER_TAG or "waive" in token.string)
+            if mentioned:
                 waivers.errors.append(
-                    (token.start[0], "unparseable repro-lint comment"))
+                    (token.start[0], f"unparseable {tag} comment"))
             continue
         kind, rule, reason = match.groups()
         if not reason:

@@ -1,0 +1,28 @@
+"""``repro-flow``: the interprocedural analysis tier.
+
+Where ``repro.analysis`` checks one file at a time, this subpackage
+proves whole-program properties of the determinism contracts: a
+project model with call resolution (``project``), a taint lattice and
+worklist solver (``lattice``), an abstract interpreter with function
+summaries (``engine``), the source/sink/sanitizer catalogue
+(``catalog``), the four flow rules (``rules``), a static call graph
+(``callgraph``) and the CLI (``cli``).
+"""
+
+from .callgraph import CallEdge, build_callgraph
+from .catalog import (RULE_CACHE_KEY, RULE_FORK, RULE_LOCK,
+                      RULE_TELEMETRY, Catalog, build_catalog)
+from .engine import Engine, Summary
+from .lattice import EMPTY, TaintSet, concrete, fixpoint, join, markers
+from .project import FlowAnnotation, Project
+from .rules import FlowAnalyzer, FlowRule, default_flow_rules
+
+__all__ = [
+    "CallEdge", "build_callgraph",
+    "RULE_CACHE_KEY", "RULE_FORK", "RULE_LOCK", "RULE_TELEMETRY",
+    "Catalog", "build_catalog",
+    "Engine", "Summary",
+    "EMPTY", "TaintSet", "concrete", "fixpoint", "join", "markers",
+    "FlowAnnotation", "Project",
+    "FlowAnalyzer", "FlowRule", "default_flow_rules",
+]

@@ -1,8 +1,9 @@
-"""``repro-lint`` — the static-analysis gate as a console command.
+"""``repro-flow`` — the interprocedural analysis tier as a command.
 
-Exit codes: 0 when no unwaived error-severity findings remain, 1
-otherwise, 2 for usage errors.  CI runs ``repro-lint src/`` as a
-blocking job; the pre-commit hook runs the same command locally.
+Exit codes match ``repro-lint``: 0 when no unwaived error-severity
+findings remain, 1 otherwise, 2 for usage errors.  ``--intra-only``
+disables call-summary propagation — the mode the fixture tests use to
+prove each rule's findings genuinely need the interprocedural step.
 """
 
 from __future__ import annotations
@@ -12,32 +13,42 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .core import Analyzer, Rule
-from .reporters import render_json, render_sarif, render_text
-from .rules import default_rules
+from ..reporters import render_json, render_sarif, render_text
+from .callgraph import build_callgraph, render_callgraph
+from .project import Project
+from .rules import FlowRule, default_flow_rules, FlowAnalyzer
+
+TOOL = "repro-flow"
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro-lint",
-        description=("Determinism & invariant static analysis for the "
-                     "repro codebase (rule catalogue: "
-                     "docs/static-analysis.md)"))
+        prog=TOOL,
+        description=("Interprocedural taint and concurrency-discipline "
+                     "analysis for the determinism contracts (see "
+                     "docs/static-analysis.md, 'Flow analysis')"))
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to analyze "
                              "(default: src)")
     parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", help="report format")
     parser.add_argument("--select", metavar="RULE[,RULE...]",
-                        help="run only the named rules")
+                        help="run only the named flow rules")
     parser.add_argument("--show-waived", action="store_true",
                         help="include waived findings in text output")
     parser.add_argument("--list-rules", action="store_true",
-                        help="print the rule catalogue and exit")
+                        help="print the flow rule catalogue and exit")
+    parser.add_argument("--intra-only", action="store_true",
+                        help="disable interprocedural summaries "
+                             "(diagnostic: what a per-function pass "
+                             "would still catch)")
+    parser.add_argument("--callgraph", action="store_true",
+                        help="dump the resolved call graph instead of "
+                             "analyzing")
     return parser
 
 
-def list_rules(rules: List[Rule]) -> str:
+def list_rules(rules: List[FlowRule]) -> str:
     width = max(len(rule.id) for rule in rules)
     lines = [f"{rule.id:<{width}}  {rule.severity.value:<7}  "
              f"{rule.description}"
@@ -48,7 +59,7 @@ def list_rules(rules: List[Rule]) -> str:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    rules = default_rules()
+    rules = default_flow_rules()
 
     if args.list_rules:
         sys.stdout.write(list_rules(rules))
@@ -69,12 +80,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not path.exists():
             parser.error(f"no such path: {path}")
 
-    report = Analyzer(rules).run(paths, select=select)
+    if args.callgraph:
+        project = Project.load(paths)
+        for line in render_callgraph(build_callgraph(project)):
+            sys.stdout.write(line + "\n")
+        return 0
+
+    analyzer = FlowAnalyzer(rules,
+                            interprocedural=not args.intra_only)
+    report = analyzer.run(paths, select=select)
     if args.format == "json":
-        sys.stdout.write(render_json(report))
+        sys.stdout.write(render_json(report, tool=TOOL))
     elif args.format == "sarif":
         sys.stdout.write(render_sarif(
-            report, rules=[(r.id, r.description) for r in rules]))
+            report, tool=TOOL,
+            rules=[(r.id, r.description) for r in rules]))
     else:
         sys.stdout.write(render_text(report,
                                      show_waived=args.show_waived))

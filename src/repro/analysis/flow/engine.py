@@ -1,0 +1,798 @@
+"""The dataflow engine: per-function abstract interpretation under a
+function-summary fixpoint.
+
+Each function is interpreted over the taint lattice: parameters are
+seeded with their markers, every expression evaluates to a taint set,
+assignments update a flow-sensitive environment, and control flow
+joins branch environments (the function body is re-interpreted until
+its effects stop growing, which handles loop-carried taint).  The
+interpretation of one function yields a :class:`Summary` — its return
+taint, the sinks its parameters can conditionally reach, and the class
+attributes its parameters are stored into.
+
+Call sites consume summaries: markers in the callee's return taint are
+substituted with argument taints, conditional sinks are instantiated
+(a hit whose taint comes from *this* caller's own parameters re-exports
+as a conditional sink one level up, so chains of helpers are followed
+to any depth), and attribute stores feed global per-``(class, attr)``
+taint cells that every method reading ``self.attr`` observes.  The
+summary fixpoint runs over :func:`~repro.analysis.flow.lattice.fixpoint`
+with dynamically-discovered caller edges as the dependency relation;
+an outer loop re-runs it until the attribute cells are stable too.
+
+With ``interprocedural=False`` the same interpreter runs but project
+call summaries are ignored — the mode the fixtures use to prove a
+finding genuinely needs the cross-function step.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import (Dict, FrozenSet, List, Mapping, Optional, Sequence,
+                    Set, Tuple)
+
+from ..core import Finding, Severity
+from . import catalog as cat
+from .catalog import Catalog
+from .lattice import (EMPTY, TaintSet, concrete, fixpoint, is_param_label,
+                      join, markers, param_index, param_label)
+from .project import FunctionInfo, Project, _dotted
+
+#: Method names that store their arguments into the receiver: a call
+#: ``self.X.append(v)`` taints the ``(cls, X)`` attribute cell exactly
+#: like ``self.X = v`` would.
+_MUTATORS = frozenset(
+    {"append", "appendleft", "add", "extend", "insert", "update",
+     "setdefault", "push"})
+
+
+@dataclass(frozen=True)
+class CondSink:
+    """A sink one of the function's parameters can reach.
+
+    ``param`` is the parameter index whose taint flows to the sink;
+    ``site`` is the innermost sink location (``relpath:line``); ``via``
+    the qualname chain from this function down to it.  ``guardable``
+    sinks are satisfied when the *caller* holds a lock guard at the
+    call site.
+    """
+
+    rule: str
+    param: int
+    trigger: TaintSet
+    description: str
+    site: Tuple[str, int]
+    via: Tuple[str, ...] = ()
+    guardable: bool = False
+
+
+@dataclass(frozen=True)
+class AttrStore:
+    """Parameter *param*'s taint is stored into ``cls.attr``."""
+
+    cls: str
+    attr: str
+    param: int
+
+
+@dataclass(frozen=True)
+class Summary:
+    """The interprocedural abstract of one function."""
+
+    ret: TaintSet = EMPTY
+    cond_sinks: FrozenSet[CondSink] = frozenset()
+    attr_stores: FrozenSet[AttrStore] = frozenset()
+
+
+_MAX_BODY_PASSES = 4
+_MAX_OUTER_ROUNDS = 8
+
+
+class Engine:
+    """Runs the summary fixpoint and reports concrete findings."""
+
+    def __init__(self, project: Project, catalog: Catalog,
+                 interprocedural: bool = True) -> None:
+        self.project = project
+        self.catalog = catalog
+        self.interprocedural = interprocedural
+        self.summaries: Dict[str, Summary] = {}
+        self.attr_taint: Dict[Tuple[str, str], TaintSet] = {}
+        self.callers: Dict[str, Set[str]] = {}
+        self.collect: Optional[Set[Finding]] = None
+
+    # ------------------------------------------------------------------
+
+    def solve(self) -> None:
+        """Compute summaries (and attribute cells) to a fixpoint."""
+        names = sorted(self.project.functions)
+        for _ in range(_MAX_OUTER_ROUNDS):
+            cells_before = dict(self.attr_taint)
+            self.summaries = fixpoint(
+                names, self._dependents, self._step, Summary())
+            if self.attr_taint == cells_before:
+                break
+
+    def report(self) -> List[Finding]:
+        """Re-interpret every function against the solved summaries,
+        collecting concrete findings; then the whole-summary checks."""
+        found: Set[Finding] = set()
+        self.collect = found
+        try:
+            for qual in sorted(self.project.functions):
+                self._analyze(self.project.functions[qual])
+        finally:
+            self.collect = None
+        for qual in sorted(self.project.functions):
+            fn = self.project.functions[qual]
+            if fn.name not in self.catalog.pure_names:
+                continue
+            if qual in self.catalog.sanitizers:
+                continue
+            bad = concrete(self.summaries.get(qual, Summary()).ret) \
+                & cat.NONDET
+            if bad:
+                found.add(Finding(
+                    fn.module.relpath, fn.node.lineno, cat.RULE_CACHE_KEY,
+                    f"{fn.name}() result carries "
+                    f"[{', '.join(sorted(bad))}]: digests and cache "
+                    f"keys must be content-only", Severity.ERROR))
+        return sorted(found, key=Finding.sort_key)
+
+    # ------------------------------------------------------------------
+
+    def _dependents(self, qual: str) -> List[str]:
+        deps = set(self.callers.get(qual, ()))
+        fn = self.project.functions.get(qual)
+        if fn is not None and fn.cls is not None:
+            info = self.project.classes.get(fn.cls)
+            if info is not None:
+                deps.update(info.methods.values())
+        return sorted(deps)
+
+    def _step(self, qual: str,
+              values: Mapping[str, Summary]) -> Summary:
+        return self._analyze(self.project.functions[qual], values)
+
+    def _analyze(self, fn: FunctionInfo,
+                 values: Optional[Mapping[str, Summary]] = None
+                 ) -> Summary:
+        summaries = values if values is not None else self.summaries
+        return _FunctionAnalysis(self, fn, summaries).run()
+
+    # ------------------------------------------------------------------
+
+    def attr_cell(self, class_qual: str, attr: str) -> TaintSet:
+        """The joined taint of ``attr`` over *class_qual* and bases."""
+        out: Set[str] = set()
+        seen: Set[str] = set()
+        stack = [class_qual]
+        while stack:
+            cqual = stack.pop()
+            if cqual in seen:
+                continue
+            seen.add(cqual)
+            out.update(self.attr_taint.get((cqual, attr), EMPTY))
+            info = self.project.classes.get(cqual)
+            if info is not None:
+                stack.extend(info.bases)
+        return frozenset(out)
+
+    def store_attr_cell(self, class_qual: str, attr: str,
+                        labels: TaintSet) -> None:
+        if not labels:
+            return
+        key = (class_qual, attr)
+        self.attr_taint[key] = self.attr_taint.get(key, EMPTY) | labels
+
+    def emit(self, relpath: str, line: int, rule: str,
+             message: str) -> None:
+        if self.collect is not None:
+            self.collect.add(
+                Finding(relpath, line, rule, message, Severity.ERROR))
+
+
+class _FunctionAnalysis:
+    """One abstract interpretation of one function body."""
+
+    def __init__(self, engine: Engine, fn: FunctionInfo,
+                 summaries: Mapping[str, Summary]) -> None:
+        self.engine = engine
+        self.project = engine.project
+        self.catalog = engine.catalog
+        self.fn = fn
+        self.summaries = summaries
+        self.env: Dict[str, TaintSet] = {}
+        self.env_types: Dict[str, FrozenSet[str]] = {}
+        self.ret: TaintSet = EMPTY
+        self.cond_sinks: Set[CondSink] = set()
+        self.attr_stores: Set[AttrStore] = set()
+        self.local_defs: Dict[str, TaintSet] = {}
+        self.trusted = (
+            fn.annotation is not None
+            and fn.annotation.role == "trusted-write"
+        ) or fn.qualname in engine.catalog.trusted_writers \
+            or fn.module.in_package("util")
+
+    def run(self) -> Summary:
+        for index, name in enumerate(self.fn.params):
+            taint = {param_label(index)}
+            if name in cat.STORE_PATH_NAMES:
+                taint.add(cat.STOREPATH)
+            self.env[name] = frozenset(taint)
+        for _ in range(_MAX_BODY_PASSES):
+            before = (dict(self.env), self.ret,
+                      len(self.cond_sinks), len(self.attr_stores))
+            self.block(self.fn.node.body, guarded=False)
+            after = (dict(self.env), self.ret,
+                     len(self.cond_sinks), len(self.attr_stores))
+            if before == after:
+                break
+        return Summary(self.ret, frozenset(self.cond_sinks),
+                       frozenset(self.attr_stores))
+
+    # -- findings ------------------------------------------------------
+
+    def hit(self, rule: str, line: int, description: str,
+            labels: TaintSet, via: Tuple[str, ...] = (),
+            site: Optional[Tuple[str, int]] = None) -> None:
+        tail = ""
+        if via and site is not None:
+            tail = (f" via {' -> '.join(via)} "
+                    f"[{site[0]}:{site[1]}]")
+        self.engine.emit(
+            self.fn.module.relpath, line, rule,
+            f"[{', '.join(sorted(labels))}] value reaches "
+            f"{description}{tail}")
+
+    def check_sink(self, rule: str, line: int, description: str,
+                   taint: TaintSet, trigger: TaintSet, guardable: bool,
+                   guarded: bool, via: Tuple[str, ...] = (),
+                   site: Optional[Tuple[str, int]] = None) -> None:
+        """One value meeting one sink: concrete labels report, marker
+        labels re-export as a conditional sink of this function."""
+        if guardable and guarded:
+            return
+        real = concrete(taint) & trigger
+        if real:
+            self.hit(rule, line, description, real, via, site)
+        for marker in markers(taint):
+            self.cond_sinks.add(CondSink(
+                rule, param_index(marker), trigger, description,
+                site if site is not None
+                else (self.fn.module.relpath, line),
+                via, guardable))
+
+    # -- statements ----------------------------------------------------
+
+    def block(self, stmts: Sequence[ast.stmt], guarded: bool) -> None:
+        for stmt in stmts:
+            self.stmt(stmt, guarded)
+
+    def stmt(self, stmt: ast.stmt, guarded: bool) -> None:
+        if isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, guarded)
+        elif isinstance(stmt, ast.Assign):
+            taint = self.eval(stmt.value, guarded)
+            types = self.project.expr_types(
+                self.fn, stmt.value, self.env_types)
+            for target in stmt.targets:
+                self.assign(target, taint, types, guarded)
+        elif isinstance(stmt, ast.AnnAssign):
+            taint = self.eval(stmt.value, guarded) \
+                if stmt.value is not None else EMPTY
+            types = self.project.annotation_types(
+                self.fn.module, stmt.annotation)
+            if stmt.value is not None:
+                types = types | self.project.expr_types(
+                    self.fn, stmt.value, self.env_types)
+            self.assign(stmt.target, taint, types, guarded,
+                        weak=stmt.value is None)
+        elif isinstance(stmt, ast.AugAssign):
+            taint = join(self.eval(stmt.value, guarded),
+                         self.eval(stmt.target, guarded))
+            self.assign(stmt.target, taint, frozenset(), guarded,
+                        weak=True)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.ret = self.ret | self.eval(stmt.value, guarded)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test, guarded)
+            self._branch((stmt.body, stmt.orelse), guarded)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            taint = self.eval(stmt.iter, guarded)
+            self.assign(stmt.target, taint, frozenset(), guarded,
+                        weak=True)
+            self.block(stmt.body, guarded)
+            self.block(stmt.orelse, guarded)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test, guarded)
+            self.block(stmt.body, guarded)
+            self.block(stmt.orelse, guarded)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = guarded
+            for item in stmt.items:
+                taint = self.eval(item.context_expr, guarded)
+                if cat.LOCKGUARD in taint:
+                    inner = True
+                if item.optional_vars is not None:
+                    types = self.project.expr_types(
+                        self.fn, item.context_expr, self.env_types)
+                    self.assign(item.optional_vars, taint, types,
+                                guarded)
+            self.block(stmt.body, inner)
+        elif isinstance(stmt, ast.Try):
+            self.block(stmt.body, guarded)
+            for handler in stmt.handlers:
+                if handler.name is not None:
+                    self.env[handler.name] = EMPTY
+                self.block(handler.body, guarded)
+            self.block(stmt.orelse, guarded)
+            self.block(stmt.finalbody, guarded)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.nested_def(stmt, guarded)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval(stmt.exc, guarded)
+        elif isinstance(stmt, ast.Assert):
+            self.eval(stmt.test, guarded)
+            if stmt.msg is not None:
+                self.eval(stmt.msg, guarded)
+        # Delete/Pass/Break/Continue/Import/Global/Nonlocal/ClassDef:
+        # no taint effect the analysis models.
+
+    def _branch(self, arms: Tuple[Sequence[ast.stmt], ...],
+                guarded: bool) -> None:
+        base_env = dict(self.env)
+        base_types = dict(self.env_types)
+        out_env: Dict[str, TaintSet] = {}
+        out_types: Dict[str, FrozenSet[str]] = {}
+        for arm in arms:
+            self.env = dict(base_env)
+            self.env_types = dict(base_types)
+            self.block(arm, guarded)
+            for key, value in self.env.items():
+                out_env[key] = out_env.get(key, EMPTY) | value
+            for key, types in self.env_types.items():
+                out_types[key] = out_types.get(key, frozenset()) | types
+        self.env = out_env
+        self.env_types = out_types
+
+    def nested_def(self, node: "ast.FunctionDef | ast.AsyncFunctionDef",
+                   guarded: bool) -> None:
+        """A nested def is interpreted inline at its definition (its
+        closure environment is live here); its return taint binds to
+        its name so later calls/uses see it."""
+        for decorator in node.decorator_list:
+            self.eval(decorator, guarded)
+        saved_env = dict(self.env)
+        saved_types = dict(self.env_types)
+        saved_ret = self.ret
+        self.ret = EMPTY
+        for name in _function_param_names(node):
+            self.env[name] = EMPTY
+        self.block(node.body, guarded)
+        nested_ret = self.ret
+        self.ret = saved_ret
+        self.env = saved_env
+        self.env_types = saved_types
+        self.local_defs[node.name] = nested_ret
+        self.env[node.name] = nested_ret
+
+    # -- assignment targets --------------------------------------------
+
+    def assign(self, target: ast.expr, taint: TaintSet,
+               types: FrozenSet[str], guarded: bool,
+               weak: bool = False) -> None:
+        if isinstance(target, ast.Name):
+            if weak:
+                self.env[target.id] = self.env.get(
+                    target.id, EMPTY) | taint
+                if types:
+                    self.env_types[target.id] = self.env_types.get(
+                        target.id, frozenset()) | types
+            else:
+                self.env[target.id] = taint
+                self.env_types[target.id] = types
+        elif isinstance(target, ast.Attribute):
+            self.attr_assign(target, taint, types, guarded)
+        elif isinstance(target, ast.Subscript):
+            base = target.value
+            self.eval(target.slice, guarded)
+            if isinstance(base, ast.Name):
+                self.env[base.id] = self.env.get(base.id, EMPTY) | taint
+            elif isinstance(base, ast.Attribute):
+                self.attr_assign(base, taint, frozenset(), guarded)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                if isinstance(element, ast.Starred):
+                    element = element.value
+                self.assign(element, taint, frozenset(), guarded,
+                            weak=True)
+        elif isinstance(target, ast.Starred):
+            self.assign(target.value, taint, types, guarded, weak)
+
+    def attr_assign(self, target: ast.Attribute, taint: TaintSet,
+                    types: FrozenSet[str], guarded: bool) -> None:
+        dotted = _dotted(target)
+        chain = dotted.split(".") if dotted is not None else []
+        if len(chain) == 2:  # x.attr = v: flow-sensitive pseudo-local
+            self.env[dotted or ""] = taint
+            if types:
+                self.env_types[dotted or ""] = types
+        if chain and chain[0] == "self" and self.fn.cls is not None \
+                and len(chain) == 2:
+            self.engine.store_attr_cell(
+                self.fn.cls, target.attr, concrete(taint))
+            for marker in markers(taint):
+                self.attr_stores.add(AttrStore(
+                    self.fn.cls, target.attr, param_index(marker)))
+        if not chain:
+            self.eval(target.value, guarded)
+            return
+        self._attr_store_sinks(target, chain, taint, guarded)
+
+    def _attr_store_sinks(self, target: ast.Attribute,
+                          chain: List[str], taint: TaintSet,
+                          guarded: bool) -> None:
+        """Rule 1 and rule 4's assignment sinks: stores into stats
+        containers and into simulator state."""
+        dotted = ".".join(chain)
+        into_stats = "stats" in chain
+        into_state = into_stats or chain[0] in ("core", "stats") or (
+            chain[0] == "self"
+            and self.fn.module.in_package(*cat.MODEL_PACKAGES))
+        if into_stats:
+            self.check_sink(
+                cat.RULE_CACHE_KEY, target.lineno,
+                f"a golden-stats counter ({dotted})", taint,
+                cat.NONDET, False, guarded)
+        if into_state:
+            self.check_sink(
+                cat.RULE_TELEMETRY, target.lineno,
+                f"simulator state ({dotted})", taint,
+                frozenset({cat.TELDATA}), False, guarded)
+
+    # -- expressions ---------------------------------------------------
+
+    def eval(self, node: Optional[ast.expr],
+             guarded: bool) -> TaintSet:
+        if node is None:
+            return EMPTY
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, EMPTY)
+        if isinstance(node, ast.Constant):
+            return EMPTY
+        if isinstance(node, ast.Attribute):
+            return self.eval_attr(node, guarded)
+        if isinstance(node, ast.Call):
+            return self.call(node, guarded)
+        if isinstance(node, ast.BinOp):
+            return join(self.eval(node.left, guarded),
+                        self.eval(node.right, guarded))
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand, guarded)
+        if isinstance(node, ast.BoolOp):
+            return join(*(self.eval(v, guarded) for v in node.values))
+        if isinstance(node, ast.Compare):
+            return join(self.eval(node.left, guarded),
+                        *(self.eval(c, guarded)
+                          for c in node.comparators))
+        if isinstance(node, ast.IfExp):
+            return join(self.eval(node.test, guarded),
+                        self.eval(node.body, guarded),
+                        self.eval(node.orelse, guarded))
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return join(*(self.eval(e, guarded) for e in node.elts))
+        if isinstance(node, ast.Dict):
+            parts = [self.eval(k, guarded)
+                     for k in node.keys if k is not None]
+            parts += [self.eval(v, guarded) for v in node.values]
+            return join(*parts)
+        if isinstance(node, ast.Subscript):
+            return join(self.eval(node.value, guarded),
+                        self.eval(node.slice, guarded))
+        if isinstance(node, ast.Slice):
+            return join(self.eval(node.lower, guarded),
+                        self.eval(node.upper, guarded),
+                        self.eval(node.step, guarded))
+        if isinstance(node, ast.JoinedStr):
+            return join(*(self.eval(v, guarded) for v in node.values))
+        if isinstance(node, ast.FormattedValue):
+            return self.eval(node.value, guarded)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            return self.comprehension(node, guarded)
+        if isinstance(node, ast.Lambda):
+            return self.lambda_body(node, guarded)
+        if isinstance(node, ast.Await):
+            return self.eval(node.value, guarded)
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value, guarded)
+        if isinstance(node, ast.NamedExpr):
+            taint = self.eval(node.value, guarded)
+            self.assign(node.target, taint, self.project.expr_types(
+                self.fn, node.value, self.env_types), guarded)
+            return taint
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            value = getattr(node, "value", None)
+            if value is not None:
+                self.ret = self.ret | self.eval(value, guarded)
+            return EMPTY
+        return EMPTY
+
+    def eval_attr(self, node: ast.Attribute, guarded: bool) -> TaintSet:
+        base = self.eval(node.value, guarded)
+        taint = set(base)
+        dotted = _dotted(node)
+        if dotted is not None:
+            if isinstance(node.value, ast.Name):
+                taint |= self.env.get(dotted, EMPTY)
+            origin = self.project.external_origin(
+                self.fn.module, dotted)
+            taint |= cat.ATTR_SOURCES.get(origin, EMPTY)
+        if node.attr in cat.STORE_PATH_NAMES:
+            taint.add(cat.STOREPATH)
+        if cat.TELOBJ in base:
+            taint.add(cat.TELDATA)
+        if isinstance(node.value, ast.Name) \
+                and node.value.id == "self" and self.fn.cls is not None:
+            taint |= self.engine.attr_cell(self.fn.cls, node.attr)
+            if cat.TELOBJ in self.engine.attr_cell(
+                    self.fn.cls, node.attr):
+                taint.add(cat.TELDATA)
+        return frozenset(taint)
+
+    def comprehension(self, node: ast.expr, guarded: bool) -> TaintSet:
+        saved_env = dict(self.env)
+        saved_types = dict(self.env_types)
+        assert isinstance(node, (ast.ListComp, ast.SetComp,
+                                 ast.DictComp, ast.GeneratorExp))
+        for gen in node.generators:
+            taint = self.eval(gen.iter, guarded)
+            self.assign(gen.target, taint, frozenset(), guarded,
+                        weak=True)
+            for cond in gen.ifs:
+                self.eval(cond, guarded)
+        if isinstance(node, ast.DictComp):
+            out = join(self.eval(node.key, guarded),
+                       self.eval(node.value, guarded))
+        else:
+            out = self.eval(node.elt, guarded)
+        self.env = saved_env
+        self.env_types = saved_types
+        return out
+
+    def lambda_body(self, node: ast.Lambda, guarded: bool) -> TaintSet:
+        saved_env = dict(self.env)
+        saved_types = dict(self.env_types)
+        for name in _function_param_names(node):
+            self.env[name] = EMPTY
+        out = self.eval(node.body, guarded)
+        self.env = saved_env
+        self.env_types = saved_types
+        return out
+
+    # -- calls ---------------------------------------------------------
+
+    def call(self, node: ast.Call, guarded: bool) -> TaintSet:
+        func = node.func
+        pos: List[TaintSet] = []
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                pos.append(self.eval(arg.value, guarded))
+            else:
+                pos.append(self.eval(arg, guarded))
+        kw: Dict[Optional[str], TaintSet] = {}
+        for keyword in node.keywords:
+            kw[keyword.arg] = self.eval(keyword.value, guarded)
+        every = join(*pos, *kw.values())
+
+        if isinstance(func, ast.Name) and func.id in self.local_defs:
+            # Nested def: its body was interpreted at the definition.
+            return self.local_defs[func.id] | every
+
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+            self._mutate_receiver(func.value, every)
+
+        result: Set[str] = set()
+        recv: TaintSet = EMPTY
+        if isinstance(func, ast.Attribute):
+            recv = self.eval(func.value, guarded)
+            if cat.TELOBJ in recv:
+                result.add(cat.TELDATA)
+
+        callees = self.project.resolve_call(
+            self.fn, func, self.env_types)
+        opaque = not callees
+        for callee in callees:
+            if callee.kind == "external":
+                opaque = True
+                result |= self.catalog.source_labels(callee.target)
+                if callee.target in cat.OPEN_FAMILY:
+                    result.add(cat.PROCLOCAL)
+                    self._open_write_check(node, pos, kw, guarded)
+            elif callee.kind == "opaque":
+                opaque = True
+            elif callee.kind == "class":
+                result |= self._construct(callee.target, node, pos, kw,
+                                          every, recv, guarded)
+            else:
+                result |= self._project_call(callee.target, node, pos,
+                                             kw, every, recv, guarded)
+
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None)
+        if name is not None:
+            result |= cat.RESULT_LABELS_BY_NAME.get(name, EMPTY)
+            sink = self.catalog.call_sinks.get(name)
+            if sink is not None and not self.trusted:
+                probes = list(pos) + list(kw.values())
+                if sink.include_receiver and recv:
+                    probes.append(recv)
+                for taint in probes:
+                    self.check_sink(
+                        sink.rule, node.lineno,
+                        f"{sink.description} ({name})", taint,
+                        sink.trigger, sink.guardable, guarded)
+            if name in cat.RAW_WRITE_METHODS \
+                    and isinstance(func, ast.Attribute):
+                self._raw_write_check(node, recv, guarded)
+            if name == "open" and isinstance(func, ast.Attribute) \
+                    and _write_mode(node, mode_position=0):
+                self._raw_write_check(node, recv, guarded)
+                result.add(cat.PROCLOCAL)
+
+        if opaque:
+            result |= every
+        return frozenset(result)
+
+    def _mutate_receiver(self, receiver: ast.expr,
+                         taint: TaintSet) -> None:
+        """``recv.append(v)``-style mutation: the stored values join
+        the receiver's taint (local variable or attribute cell)."""
+        if isinstance(receiver, ast.Name):
+            self.env[receiver.id] = self.env.get(
+                receiver.id, EMPTY) | taint
+            return
+        if isinstance(receiver, ast.Attribute) \
+                and isinstance(receiver.value, ast.Name):
+            pseudo = f"{receiver.value.id}.{receiver.attr}"
+            self.env[pseudo] = self.env.get(pseudo, EMPTY) | taint
+            if receiver.value.id == "self" and self.fn.cls is not None:
+                self.engine.store_attr_cell(
+                    self.fn.cls, receiver.attr, concrete(taint))
+                for marker in markers(taint):
+                    self.attr_stores.add(AttrStore(
+                        self.fn.cls, receiver.attr,
+                        param_index(marker)))
+
+    def _construct(self, class_qual: str, node: ast.Call,
+                   pos: List[TaintSet],
+                   kw: Dict[Optional[str], TaintSet], every: TaintSet,
+                   recv: TaintSet, guarded: bool) -> TaintSet:
+        result: Set[str] = set(every)
+        if class_qual in self.catalog.guard_classes:
+            result |= {cat.LOCKGUARD, cat.PROCLOCAL}
+        info = self.project.classes.get(class_qual)
+        if info is not None and info.module.in_package("telemetry"):
+            result |= {cat.TELOBJ, cat.PROCLOCAL}
+        init = self.project.lookup_method(class_qual, "__init__")
+        if init is not None:
+            self._project_call(init, node, pos, kw, every, EMPTY,
+                               guarded, is_method=True)
+        return frozenset(result)
+
+    def _project_call(self, qual: str, node: ast.Call,
+                      pos: List[TaintSet],
+                      kw: Dict[Optional[str], TaintSet],
+                      every: TaintSet, recv: TaintSet, guarded: bool,
+                      is_method: Optional[bool] = None) -> TaintSet:
+        callee = self.project.functions.get(qual)
+        if callee is None:
+            return every
+        self.engine.callers.setdefault(qual, set()).add(
+            self.fn.qualname)
+        if not self.engine.interprocedural:
+            return EMPTY
+        if qual in self.catalog.sanitizers:
+            return frozenset(
+                (every | recv) - self.catalog.sanitizers[qual])
+
+        if is_method is None:
+            is_method = callee.cls is not None \
+                and isinstance(node.func, ast.Attribute)
+        args: List[TaintSet] = ([recv] if is_method else []) + pos
+        spill = EMPTY
+        for key, taint in kw.items():
+            index = callee.param_index(key) if key is not None else None
+            if index is not None:
+                while len(args) <= index:
+                    args.append(EMPTY)
+                args[index] = args[index] | taint
+            else:
+                spill = spill | taint
+
+        def arg_taint(index: int) -> TaintSet:
+            if index < len(args):
+                return args[index] | spill
+            return spill
+
+        summary = self.summaries.get(qual, Summary())
+        result: Set[str] = set()
+        for label in summary.ret:
+            if is_param_label(label):
+                result |= arg_taint(param_index(label))
+            else:
+                result.add(label)
+        for cond in summary.cond_sinks:
+            # Keep via chains finite through call cycles: stop
+            # extending once the callee already appears (recursion)
+            # or the chain is deep enough to read.
+            if qual in cond.via or len(cond.via) >= 6:
+                via = cond.via
+            else:
+                via = (qual,) + cond.via
+            self.check_sink(
+                cond.rule, node.lineno, cond.description,
+                arg_taint(cond.param), cond.trigger, cond.guardable,
+                guarded, via=via, site=cond.site)
+        for store in summary.attr_stores:
+            taint = arg_taint(store.param)
+            self.engine.store_attr_cell(
+                store.cls, store.attr, concrete(taint))
+            for marker in markers(taint):
+                self.attr_stores.add(AttrStore(
+                    store.cls, store.attr, param_index(marker)))
+        return frozenset(result)
+
+    # -- raw writes ----------------------------------------------------
+
+    def _open_write_check(self, node: ast.Call, pos: List[TaintSet],
+                          kw: Dict[Optional[str], TaintSet],
+                          guarded: bool) -> None:
+        if not _write_mode(node, mode_position=1):
+            return
+        path_taint = pos[0] if pos else kw.get("file", EMPTY)
+        self._raw_write_check(node, path_taint, guarded)
+
+    def _raw_write_check(self, node: ast.Call, path_taint: TaintSet,
+                         guarded: bool) -> None:
+        if self.trusted:
+            return
+        self.check_sink(
+            cat.RULE_LOCK, node.lineno,
+            "a raw (non-atomic, unlocked) write on a shared-store "
+            "path; use atomic_write_text/bytes, append_line, or hold "
+            "FileLock", path_taint, frozenset({cat.STOREPATH}),
+            guardable=True, guarded=guarded)
+
+
+def _write_mode(node: ast.Call, mode_position: int) -> bool:
+    """True when an ``open``-style call's mode string writes."""
+    mode: Optional[ast.expr] = None
+    if len(node.args) > mode_position:
+        mode = node.args[mode_position]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return False
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return any(c in mode.value for c in "wax+")
+    return False
+
+
+def _function_param_names(
+        node: "ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda"
+) -> List[str]:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs]
+    names += [a.arg for a in args.args]
+    names += [a.arg for a in args.kwonlyargs]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return names

@@ -1,0 +1,103 @@
+"""The taint lattice and the worklist fixpoint solver.
+
+The abstract domain is the powerset of a small label alphabet ordered
+by inclusion: bottom is the empty set, join is union, and every
+transfer function only ever adds labels, so the solver's chains are
+finite and ascending.  Two kinds of label live side by side:
+
+* **concrete labels** (``wallclock``, ``storepath``, ``telobj`` …) name
+  a property a value actually has, and
+* **parameter markers** (``<param:i>``) are placeholders meaning "the
+  taint of the caller's *i*-th argument".  A function summary keeps its
+  markers; a call site substitutes the argument taints for them, which
+  is what turns one intra-procedural pass per function into an
+  interprocedural analysis.
+
+:func:`fixpoint` is the generic chaotic-iteration worklist driver: it
+knows nothing about taint, only about re-running a ``step`` function
+until nothing changes and requeueing dependents when something does.
+The engine uses it for the function-summary fixpoint; the property
+tests in ``tests/analysis/flow/`` check it against brute-force
+round-robin iteration.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (Callable, Dict, FrozenSet, Iterable, Mapping, Sequence,
+                    Set, Tuple, TypeVar)
+
+TaintSet = FrozenSet[str]
+
+EMPTY: TaintSet = frozenset()
+
+_PARAM_PREFIX = "<param:"
+_PARAM_SUFFIX = ">"
+
+
+def param_label(index: int) -> str:
+    """The marker standing for the taint of parameter *index*."""
+    return f"{_PARAM_PREFIX}{index}{_PARAM_SUFFIX}"
+
+
+def is_param_label(label: str) -> bool:
+    return label.startswith(_PARAM_PREFIX)
+
+
+def param_index(label: str) -> int:
+    return int(label[len(_PARAM_PREFIX):-len(_PARAM_SUFFIX)])
+
+
+def concrete(labels: Iterable[str]) -> TaintSet:
+    """Only the real labels of *labels* (markers stripped)."""
+    return frozenset(l for l in labels if not is_param_label(l))
+
+
+def markers(labels: Iterable[str]) -> TaintSet:
+    """Only the parameter markers of *labels*."""
+    return frozenset(l for l in labels if is_param_label(l))
+
+
+def join(*sets: Iterable[str]) -> TaintSet:
+    """Least upper bound: union."""
+    out: Set[str] = set()
+    for labels in sets:
+        out.update(labels)
+    return frozenset(out)
+
+
+Node = TypeVar("Node")
+Value = TypeVar("Value")
+
+
+def fixpoint(
+    nodes: Sequence[Node],
+    dependents: Callable[[Node], Iterable[Node]],
+    step: Callable[[Node, Mapping[Node, Value]], Value],
+    initial: Value,
+) -> Dict[Node, Value]:
+    """Solve ``values[n] = step(n, values)`` for every node by chaotic
+    iteration.
+
+    Every node starts at *initial* and is visited at least once, in the
+    given order; whenever a node's value changes, ``dependents(node)``
+    are requeued.  With monotone steps over a finite lattice this
+    terminates at the least fixpoint; the solver itself only relies on
+    ``!=`` to detect change, so any equality-comparable value works.
+    Nodes returned by ``dependents`` that are not in *nodes* are
+    ignored (a dependency edge may name something outside the system).
+    """
+    values: Dict[Node, Value] = {node: initial for node in nodes}
+    queue: "deque[Node]" = deque(nodes)
+    queued: Set[Node] = set(nodes)
+    while queue:
+        node = queue.popleft()
+        queued.discard(node)
+        new = step(node, values)
+        if new != values[node]:
+            values[node] = new
+            for dep in dependents(node):
+                if dep in values and dep not in queued:
+                    queue.append(dep)
+                    queued.add(dep)
+    return values

@@ -1,0 +1,123 @@
+"""The flow rule catalogue and the tier-2 analyzer driver.
+
+Flow rules differ from the per-file tier's ``Rule`` classes: they are
+not independent visitors but *views* over one shared engine run — the
+engine computes every taint fact once, and each rule id selects the
+findings whose contract it names.  ``FlowAnalyzer`` mirrors the tier-1
+``Analyzer`` surface (``run(paths, select) -> Report``) so the CLIs
+and reporters are interchangeable between the tiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..core import Finding, Report, Severity
+from . import catalog as cat
+from .catalog import build_catalog
+from .engine import Engine
+from .project import Project
+
+
+@dataclass(frozen=True)
+class FlowRule:
+    """Catalogue metadata for one flow rule (the engine does the work)."""
+
+    id: str
+    description: str
+    severity: Severity = Severity.ERROR
+
+
+def default_flow_rules() -> List[FlowRule]:
+    return [
+        FlowRule(
+            cat.RULE_CACHE_KEY,
+            "nondeterministic values (wallclock/env/rusage/random/"
+            "hash()/host identity) must not reach cache keys, "
+            "canonical digests, golden-stats counters or checkpoint "
+            "payloads unless sanitized"),
+        FlowRule(
+            cat.RULE_LOCK,
+            "writes reaching shared-store paths must go through "
+            "atomic_write_text/bytes or append_line, or run under "
+            "FileLock — checked through helper indirection"),
+        FlowRule(
+            cat.RULE_FORK,
+            "objects capturing locks, open file handles or live "
+            "telemetry sinks must not flow into worker-process "
+            "submission (run_many/Pool)"),
+        FlowRule(
+            cat.RULE_TELEMETRY,
+            "data flows into telemetry sinks/spans/progress, never "
+            "back: no telemetry-derived value may be stored into "
+            "simulator state or stats"),
+    ]
+
+
+class FlowAnalyzer:
+    """Loads a project, runs the engine, applies flow-tag waivers."""
+
+    def __init__(self, rules: Optional[Sequence[FlowRule]] = None,
+                 interprocedural: bool = True) -> None:
+        self.rules: List[FlowRule] = list(
+            rules if rules is not None else default_flow_rules())
+        self.interprocedural = interprocedural
+
+    def run(self, paths: Sequence[Path],
+            select: Optional[Sequence[str]] = None) -> Report:
+        selected = [rule for rule in self.rules
+                    if select is None or rule.id in select]
+        selected_ids = {rule.id for rule in selected}
+
+        project = Project.load(paths)
+        catalog, annotation_findings = build_catalog(project)
+        engine = Engine(project, catalog, self.interprocedural)
+        engine.solve()
+
+        raw: List[Finding] = [
+            finding for finding in engine.report()
+            if finding.rule in selected_ids]
+        raw.extend(annotation_findings)
+        for relpath, line, message in project.syntax_errors:
+            raw.append(Finding(relpath, line, "syntax-error", message))
+
+        findings = self._apply_waivers(project, raw)
+        unique = sorted(set(findings), key=Finding.sort_key)
+        return Report(unique,
+                      len(project.modules) + len(project.syntax_errors),
+                      [rule.id for rule in selected])
+
+    def _apply_waivers(self, project: Project,
+                       raw: Sequence[Finding]) -> List[Finding]:
+        """Tier-1 waiver semantics under the ``repro-flow`` tag: apply
+        per-line/per-file waivers, then report waiver hygiene."""
+        by_file: Dict[str, List[Finding]] = {}
+        out: List[Finding] = []
+        for finding in raw:
+            by_file.setdefault(finding.path, []).append(finding)
+        for relpath, found in by_file.items():
+            waivers = project.flow_waivers.get(relpath)
+            if waivers is None:
+                out.extend(found)
+                continue
+            for finding in found:
+                reason = waivers.lookup(finding.line, finding.rule)
+                if reason is not None:
+                    out.append(Finding(
+                        finding.path, finding.line, finding.rule,
+                        finding.message, finding.severity,
+                        waived=True, waive_reason=reason))
+                else:
+                    out.append(finding)
+        for relpath in sorted(project.flow_waivers):
+            waivers = project.flow_waivers[relpath]
+            for line, message in waivers.errors:
+                out.append(Finding(relpath, line, "bad-waiver", message))
+            for line, rule_id in waivers.unused():
+                out.append(Finding(
+                    relpath, line, "unused-waiver",
+                    f"waiver for [{rule_id}] matched no finding",
+                    Severity.WARNING))
+        return out

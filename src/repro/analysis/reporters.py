@@ -1,20 +1,35 @@
-"""Stable text and JSON rendering of a lint :class:`Report`.
+"""Stable text, JSON and SARIF rendering of a lint :class:`Report`.
 
-Both formats are deterministic functions of the findings: sorted input
+All formats are deterministic functions of the findings: sorted input
 (the analyzer sorts), no timestamps, no absolute paths — two runs over
 the same tree produce byte-identical output, so reports can themselves
-be diffed or cached.
+be diffed or cached.  The renderers are shared by both analysis tiers
+(``repro-lint`` and ``repro-flow``); *tool* names the producing tier.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .core import Report, Severity
 
-#: Bumped when the JSON layout changes shape.
-REPORT_FORMAT = "repro-lint-v1"
+#: Bumped when the JSON layout changes shape.  ``schema_version`` in
+#: the payload carries the same number so consumers can gate on it;
+#: a byte-stability test pins the rendered bytes.
+SCHEMA_VERSION = 2
+
+#: SARIF spec level emitted by :func:`render_sarif`.
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def _format_name(tool: str) -> str:
+    return f"{tool}-v1"
+
+
+#: The tier-1 format marker (kept for backward compatibility).
+REPORT_FORMAT = _format_name("repro-lint")
 
 
 def render_text(report: Report, show_waived: bool = False) -> str:
@@ -37,10 +52,11 @@ def render_text(report: Report, show_waived: bool = False) -> str:
     return "\n".join(lines) + "\n"
 
 
-def render_json(report: Report) -> str:
+def render_json(report: Report, tool: str = "repro-lint") -> str:
     """Machine-readable report (sorted keys, stable ordering)."""
     payload: Dict[str, object] = {
-        "format": REPORT_FORMAT,
+        "format": _format_name(tool),
+        "schema_version": SCHEMA_VERSION,
         "files_checked": report.files_checked,
         "rules_run": sorted(report.rules_run),
         "findings": [finding.as_dict() for finding in report.findings],
@@ -52,6 +68,72 @@ def render_json(report: Report) -> str:
         "exit_code": report.exit_code(),
     }
     return json.dumps(payload, indent=1, sort_keys=True) + "\n"
+
+
+def render_sarif(report: Report, tool: str = "repro-lint",
+                 rules: Optional[Sequence[Tuple[str, str]]] = None
+                 ) -> str:
+    """SARIF 2.1.0 report (the format CI code-scanning uploads eat).
+
+    *rules* is an optional ``(id, description)`` catalogue for the
+    driver's rule metadata; rule ids appearing in findings but not in
+    the catalogue (hygiene rules like ``bad-waiver``) are added with
+    an empty description.  Waived findings are emitted as suppressed
+    results so annotations show the justification instead of a bare
+    pass.
+    """
+    catalogue: Dict[str, str] = dict(rules or ())
+    for finding in report.findings:
+        catalogue.setdefault(finding.rule, "")
+    rule_ids = sorted(catalogue)
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+
+    results: List[Dict[str, object]] = []
+    for finding in report.findings:
+        level = "error" if finding.severity is Severity.ERROR \
+            else "warning"
+        result: Dict[str, object] = {
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index[finding.rule],
+            "level": level,
+            "message": {"text": finding.message},
+            "locations": [_sarif_location(finding.path, finding.line)],
+        }
+        if finding.waived:
+            result["suppressions"] = [{
+                "kind": "inSource",
+                "justification": finding.waive_reason,
+            }]
+        results.append(result)
+
+    payload: Dict[str, object] = {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": tool,
+                "rules": [{
+                    "id": rule_id,
+                    "shortDescription": {"text": catalogue[rule_id]},
+                } for rule_id in rule_ids],
+            }},
+            "results": results,
+        }],
+    }
+    return json.dumps(payload, indent=1, sort_keys=True) + "\n"
+
+
+def _sarif_location(path: str, line: int) -> Dict[str, object]:
+    location: Dict[str, object] = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path},
+        },
+    }
+    if line > 0:
+        physical = location["physicalLocation"]
+        assert isinstance(physical, dict)
+        physical["region"] = {"startLine": line}
+    return location
 
 
 def severity_counts(report: Report) -> Dict[str, int]:

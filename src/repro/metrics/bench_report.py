@@ -299,7 +299,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
     print("\n\n".join(report.render() for report in reports))
     if args.html is not None:
-        args.html.write_text(
+        from ..util.locking import atomic_write_text
+        atomic_write_text(
+            args.html,
             render_dashboard_html(reports, title="repro bench trends"))
         print(f"\nwrote {args.html}")
     if args.strict and any("regress" in latest_flags(report)

@@ -306,7 +306,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
     print("\n\n".join(report.render() for report in reports))
     if args.html is not None:
-        args.html.write_text(render_dashboard_html(reports))
+        from ..util.locking import atomic_write_text
+        atomic_write_text(args.html, render_dashboard_html(reports))
         print(f"\nwrote {args.html}")
     return 0
 

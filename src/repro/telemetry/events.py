@@ -147,8 +147,8 @@ class EventTrace:
         return "\n".join(lines) + "\n"
 
     def write(self, path) -> None:
-        from pathlib import Path
-        Path(path).write_text(self.dumps())
+        from ..util.locking import atomic_write_text
+        atomic_write_text(path, self.dumps())
 
 
 def load_trace(path) -> "LoadedTrace":

@@ -26,6 +26,8 @@ import json
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+from ..util.locking import atomic_write_text
+
 INTERVAL_FORMAT = "repro-interval-v1"
 
 #: Default sampling period in cycles.
@@ -116,9 +118,9 @@ class IntervalSeries:
         """Serialize by suffix: ``.csv`` is CSV, anything else JSONL."""
         path = Path(path)
         if path.suffix.lower() == ".csv":
-            path.write_text(self.to_csv())
+            atomic_write_text(path, self.to_csv())
         else:
-            path.write_text(self.to_jsonl())
+            atomic_write_text(path, self.to_jsonl())
 
 
 def _from_jsonl(text: str, path) -> IntervalSeries:

@@ -168,7 +168,7 @@ class TelemetrySink:
     def write_trace(self, path, **context) -> None:
         if self.trace is None:
             raise ValueError("event tracing disabled for this sink")
-        from pathlib import Path
+        from ..util.locking import atomic_write_text
         merged = dict(self.series.context)
         merged.update(context)
-        Path(path).write_text(self.trace.dumps(**merged))
+        atomic_write_text(path, self.trace.dumps(**merged))

@@ -1,0 +1,36 @@
+"""Shared fixtures for the repro-flow test suite.
+
+``flow_tree`` materializes fixture files under a synthetic package
+tree and runs the flow analyzer over it; ``flow_findings`` narrows to
+the unwaived findings.  Every positive rule fixture is asserted twice
+— with summaries on (finding present) and with ``interprocedural=
+False`` (finding absent) — proving the finding genuinely needs the
+cross-function step.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.flow import FlowAnalyzer
+
+
+@pytest.fixture
+def flow_tree(tmp_path):
+    def run(files, select=None, interprocedural=True):
+        for relpath, source in files.items():
+            target = tmp_path / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(source))
+        analyzer = FlowAnalyzer(interprocedural=interprocedural)
+        return analyzer.run([tmp_path], select=select)
+    return run
+
+
+@pytest.fixture
+def flow_findings(flow_tree):
+    def run(files, select=None, interprocedural=True):
+        report = flow_tree(files, select=select,
+                           interprocedural=interprocedural)
+        return report.unwaived
+    return run

@@ -1,0 +1,16 @@
+"""Aliased imports (module alias + renamed class) and a call cycle."""
+
+from pkg import beta as b
+from pkg.gamma import Widget as W
+
+
+def ping(n):
+    if n:
+        return b.pong(n - 1)
+    return 0
+
+
+def use():
+    widget = W("x")
+    widget.spin()
+    return ping(3)

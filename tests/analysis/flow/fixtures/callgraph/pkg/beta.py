@@ -1,0 +1,7 @@
+"""Closes the ping/pong cycle back into alpha."""
+
+from pkg import alpha
+
+
+def pong(n):
+    return alpha.ping(n)

@@ -1,0 +1,12 @@
+"""A class whose methods call each other through ``self``."""
+
+
+class Widget:
+    def __init__(self, name):
+        self.name = name
+
+    def spin(self):
+        return self.helper()
+
+    def helper(self):
+        return 1

@@ -1,0 +1,45 @@
+"""Call-graph golden test over the on-disk fixture package.
+
+The fixture exercises the resolution forms the graph must see through:
+a module alias (``from pkg import beta as b``), a renamed class import
+(``from pkg.gamma import Widget as W``), constructor-typed receivers
+(``widget = W(...); widget.spin()``), ``self.method()`` dispatch, and
+the ping/pong call cycle between two modules.
+"""
+
+from pathlib import Path
+
+from repro.analysis.flow import Project, build_callgraph
+from repro.analysis.flow.callgraph import callers_map, render_callgraph
+
+FIXTURE = Path(__file__).parent / "fixtures" / "callgraph"
+GOLDEN = FIXTURE / "golden.txt"
+
+
+def _edges():
+    project = Project.load([FIXTURE])
+    return build_callgraph(project)
+
+
+def test_callgraph_matches_golden():
+    rendered = "\n".join(render_callgraph(_edges())) + "\n"
+    assert rendered == GOLDEN.read_text()
+
+
+def test_callgraph_is_deterministic():
+    first = "\n".join(render_callgraph(_edges()))
+    second = "\n".join(render_callgraph(_edges()))
+    assert first == second
+
+
+def test_cycle_appears_in_both_directions():
+    callers = callers_map(_edges())
+    assert "pkg.beta.pong" in callers["pkg.alpha.ping"]
+    assert "pkg.alpha.ping" in callers["pkg.beta.pong"]
+
+
+def test_constructor_edge_targets_the_class_qualname():
+    edges = {(e.caller, e.callee) for e in _edges()}
+    assert ("pkg.alpha.use", "pkg.gamma.Widget") in edges
+    assert ("pkg.gamma.Widget.spin",
+            "pkg.gamma.Widget.helper") in edges

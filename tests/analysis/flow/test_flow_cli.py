@@ -1,0 +1,100 @@
+"""The ``repro-flow`` CLI and the shipped flow gate, run as tests.
+
+``repro-flow src/`` exiting 0 is an acceptance criterion of the tree
+(like ``repro-lint src/``), so the suite runs the same gate.  The CLI
+surface mirrors tier 1: ``--select`` rejects unknown rule names with
+exit code 2 *and* the list of available names, ``--format`` adds
+``sarif``, ``--list-rules`` prints the catalogue.
+"""
+
+import io
+import json
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.analysis.flow import FlowAnalyzer, default_flow_rules
+from repro.analysis.flow.cli import main
+
+
+def test_flow_gate_exits_zero_on_src(repo_src):
+    report = FlowAnalyzer().run([repo_src])
+    assert [f.as_dict() for f in report.unwaived
+            if f.severity.value == "error"] == []
+    # Waivers carry their justification or they would be findings.
+    assert all(f.waive_reason for f in report.waived)
+
+
+def test_cli_gate_exits_zero_on_src(repo_src):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main([str(repo_src)])
+    assert code == 0
+    assert buffer.getvalue().strip().endswith("file(s) checked")
+
+
+def test_cli_rejects_unknown_rule_listing_available(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--select", "no-such-flow-rule", "src"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "unknown rule(s): no-such-flow-rule" in err
+    for rule in default_flow_rules():
+        assert rule.id in err
+
+
+def test_cli_list_rules_names_every_flow_rule():
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(["--list-rules"])
+    assert code == 0
+    listed = buffer.getvalue()
+    for rule in default_flow_rules():
+        assert rule.id in listed
+
+
+def test_cli_select_restricts_rules(tmp_path, capsys):
+    bad = tmp_path / "repro" / "experiments" / "mod.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        "import time\n\n\n"
+        "def build(name):\n"
+        "    return canonical_digest(f'{name}:{time.time()}')\n")
+    assert main([str(tmp_path)]) == 1
+    assert "flow-cache-key-purity" in capsys.readouterr().out
+    # Selecting a different rule leaves the violation out of scope.
+    assert main(["--select", "flow-fork-safety", str(tmp_path)]) == 0
+
+
+def test_cli_sarif_format(repo_src):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(["--format", "sarif", str(repo_src)])
+    assert code == 0
+    payload = json.loads(buffer.getvalue())
+    assert payload["version"] == "2.1.0"
+    driver = payload["runs"][0]["tool"]["driver"]
+    assert driver["name"] == "repro-flow"
+    listed = {rule["id"] for rule in driver["rules"]}
+    assert {rule.id for rule in default_flow_rules()} <= listed
+
+
+def test_cli_json_format_carries_schema_version(repo_src):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(["--format", "json", str(repo_src)])
+    assert code == 0
+    payload = json.loads(buffer.getvalue())
+    assert payload["format"] == "repro-flow-v1"
+    assert payload["schema_version"] == 2
+
+
+def test_cli_callgraph_mode(tmp_path, capsys):
+    mod = tmp_path / "repro" / "experiments" / "mod.py"
+    mod.parent.mkdir(parents=True)
+    mod.write_text("def a():\n    return b()\n\n\ndef b():\n"
+                   "    return 0\n")
+    assert main(["--callgraph", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "repro.experiments.mod.a -> repro.experiments.mod.b:2" \
+        in out

@@ -1,0 +1,104 @@
+"""Lattice laws and worklist-solver properties (hypothesis).
+
+The solver's contract: for monotone steps over a finite lattice it
+terminates at the least fixpoint, regardless of graph shape (cycles
+included) or the order nodes are seeded.  The properties check it
+against a brute-force round-robin iteration on randomized dependency
+graphs.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.flow.lattice import (EMPTY, concrete, fixpoint,
+                                         join, markers, param_label)
+
+LABELS = st.frozensets(
+    st.sampled_from(["wallclock", "env", "random", "storepath"]),
+    max_size=4)
+
+
+@given(LABELS, LABELS, LABELS)
+def test_join_is_a_semilattice(a, b, c):
+    assert join(a, a) == a
+    assert join(a, b) == join(b, a)
+    assert join(join(a, b), c) == join(a, join(b, c))
+    assert join(a, EMPTY) == a
+    assert a <= join(a, b) and b <= join(a, b)
+
+
+@given(LABELS)
+def test_concrete_and_markers_partition(a):
+    tainted = a | {param_label(0), param_label(3)}
+    assert concrete(tainted) == a
+    assert markers(tainted) == {param_label(0), param_label(3)}
+    assert concrete(tainted) | markers(tainted) == tainted
+
+
+#: Random dependency graphs: node -> (seed labels, input nodes).
+GRAPHS = st.integers(min_value=1, max_value=7).flatmap(
+    lambda n: st.fixed_dictionaries({
+        node: st.tuples(
+            LABELS,
+            st.lists(st.integers(min_value=0, max_value=n - 1),
+                     max_size=3))
+        for node in range(n)}))
+
+
+def _brute_force(graph):
+    values = {node: EMPTY for node in graph}
+    changed = True
+    while changed:
+        changed = False
+        for node, (seed, inputs) in graph.items():
+            new = join(seed, *(values[i] for i in inputs))
+            if new != values[node]:
+                values[node] = new
+                changed = True
+    return values
+
+
+@settings(max_examples=200)
+@given(GRAPHS)
+def test_fixpoint_matches_brute_force(graph):
+    def dependents(node):
+        return [m for m, (_, inputs) in graph.items() if node in inputs]
+
+    def step(node, values):
+        seed, inputs = graph[node]
+        return join(seed, *(values[i] for i in inputs))
+
+    solved = fixpoint(sorted(graph), dependents, step, EMPTY)
+    assert solved == _brute_force(graph)
+
+
+@settings(max_examples=100)
+@given(GRAPHS, st.randoms(use_true_random=False))
+def test_fixpoint_is_order_independent(graph, rng):
+    def dependents(node):
+        return [m for m, (_, inputs) in graph.items() if node in inputs]
+
+    def step(node, values):
+        seed, inputs = graph[node]
+        return join(seed, *(values[i] for i in inputs))
+
+    ordered = fixpoint(sorted(graph), dependents, step, EMPTY)
+    shuffled_nodes = sorted(graph)
+    rng.shuffle(shuffled_nodes)
+    assert fixpoint(shuffled_nodes, dependents, step, EMPTY) == ordered
+
+
+def test_fixpoint_converges_on_a_cycle():
+    # a <-> b feeding each other plus their own seeds: the classic
+    # shape that diverges if growth is unbounded.
+    graph = {0: (frozenset({"wallclock"}), [1]),
+             1: (frozenset({"env"}), [0])}
+
+    def dependents(node):
+        return [1 - node]
+
+    def step(node, values):
+        seed, inputs = graph[node]
+        return join(seed, *(values[i] for i in inputs))
+
+    solved = fixpoint([0, 1], dependents, step, EMPTY)
+    assert solved[0] == solved[1] == frozenset({"wallclock", "env"})

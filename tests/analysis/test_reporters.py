@@ -1,9 +1,12 @@
-"""Reporter output: exact text format, JSON shape, byte stability."""
+"""Reporter output: exact text format, JSON/SARIF shape, byte
+stability."""
 
 import json
 
-from repro.analysis.reporters import (REPORT_FORMAT, render_json,
-                                      render_text, severity_counts)
+from repro.analysis.reporters import (REPORT_FORMAT, SARIF_VERSION,
+                                      SCHEMA_VERSION, render_json,
+                                      render_sarif, render_text,
+                                      severity_counts)
 
 FIXTURE = {"repro/experiments/mod.py": """\
     def key(x):
@@ -49,6 +52,44 @@ def test_reports_are_byte_stable(lint_tree):
     assert render_text(first, show_waived=True) \
         == render_text(second, show_waived=True)
     assert render_json(first) == render_json(second)
+    assert render_sarif(first) == render_sarif(second)
+
+
+def test_json_schema_version_pinned(lint_tree):
+    # The version constant and the payload field move together; bump
+    # both (and this pin) when the layout changes shape.
+    assert SCHEMA_VERSION == 2
+    report = lint_tree(FIXTURE, select=["no-builtin-hash"])
+    payload = json.loads(render_json(report))
+    assert payload["schema_version"] == 2
+
+
+def test_sarif_shape(lint_tree):
+    report = lint_tree(FIXTURE, select=["no-builtin-hash"])
+    payload = json.loads(render_sarif(
+        report, rules=[("no-builtin-hash", "hash() is salted")]))
+    assert payload["version"] == SARIF_VERSION == "2.1.0"
+    run = payload["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    rules = {r["id"]: r["shortDescription"]["text"]
+             for r in run["tool"]["driver"]["rules"]}
+    assert rules["no-builtin-hash"] == "hash() is salted"
+    levels = [(r["ruleId"], r["level"]) for r in run["results"]]
+    assert levels == [("no-builtin-hash", "error")] * 2
+    region = run["results"][0]["locations"][0]["physicalLocation"]
+    assert region["artifactLocation"]["uri"] \
+        == "repro/experiments/mod.py"
+    assert region["region"] == {"startLine": 2}
+
+
+def test_sarif_waived_findings_become_suppressions(lint_tree):
+    report = lint_tree(FIXTURE, select=["no-builtin-hash"])
+    payload = json.loads(render_sarif(report))
+    suppressed = [r for r in payload["runs"][0]["results"]
+                  if "suppressions" in r]
+    assert len(suppressed) == 1
+    assert suppressed[0]["suppressions"][0]["justification"] \
+        == "memo key, never persisted"
 
 
 def test_severity_counts(lint_tree):

@@ -45,10 +45,14 @@ def test_cli_list_rules_names_every_default_rule():
         assert rule.id in listed
 
 
-def test_cli_rejects_unknown_rule():
+def test_cli_rejects_unknown_rule_listing_available(capsys):
     with pytest.raises(SystemExit) as excinfo:
         main(["--select", "no-such-rule", "src"])
     assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "unknown rule(s): no-such-rule" in err
+    assert "available:" in err
+    assert "no-builtin-hash" in err
 
 
 def test_cli_json_format(repo_src):
